@@ -1,0 +1,61 @@
+"""Ablation — Section VI's deep-sleep extension.
+
+The paper's future work: power down switch buffers/crossbars too, with
+reactivation up to a millisecond, relying on the predictor to amortise
+the long wake-up.  We rerun NAS BT (the most predictable code, hence the
+paper's argument that "our power saving mechanism can better amortize
+larger reactivation times") with T_react stepped from the WRPS 10 us to
+the deep-sleep 1 ms, and report savings/slowdown plus the whole-switch
+savings with the 64 % link-share model.
+"""
+
+from conftest import emit
+
+from repro.experiments import run_cell
+from repro.power import SwitchPowerModel, WRPSParams
+
+REACT_STEPS = (10.0, 50.0, 200.0, 1000.0)
+
+
+def _run():
+    out = []
+    for t_react in REACT_STEPS:
+        params = WRPSParams(
+            low_power_fraction=0.43 if t_react <= 10.0 else 0.10,
+            t_react_us=t_react,
+            t_deact_us=t_react,
+        )
+        cell = run_cell(
+            "nas_bt", 16, displacements=(0.05,), wrps=params, use_cache=False
+        )
+        out.append((t_react, cell))
+    return out
+
+
+def test_deep_sleep_extension(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    model = SwitchPowerModel()
+    lines = [f"{'T_react':>9s} {'link sav%':>10s} {'slowdown%':>10s} "
+             f"{'switch sav% (64% share)':>24s}"]
+    rows = []
+    for t_react, cell in results:
+        m = cell.managed[0.05]
+        link_sav = m.power_savings_pct
+        rows.append((t_react, link_sav, m.exec_time_increase_pct))
+        lines.append(
+            f"{t_react:>7.0f}us {link_sav:>10.2f} "
+            f"{m.exec_time_increase_pct:>10.2f} "
+            f"{model.switch_savings_pct(link_sav):>24.2f}"
+        )
+    emit("ablation_deep_sleep", "\n".join(lines))
+
+    # all runs stay functional with bounded slowdown
+    for t_react, sav, slow in rows:
+        assert 0.0 <= sav <= 90.0
+        assert slow < 8.0, f"T_react={t_react}: slowdown {slow}"
+    # millisecond wake-ups shrink the usable window set: fewer savings
+    # opportunities than the WRPS baseline at the same displacement
+    # (deep sleep saves more *per* window, so compare window counts)
+    shut_10 = sum(c.shutdowns for c in results[0][1].managed[0.05].counters)
+    shut_1000 = sum(c.shutdowns for c in results[-1][1].managed[0.05].counters)
+    assert shut_1000 <= shut_10

@@ -1,0 +1,39 @@
+"""Ablation — displacement factor swept beyond the paper's three points.
+
+The paper evaluates 1 %, 5 % and 10 %; this ablation extends the sweep
+to 35 % to expose the full power/safety trade-off curve (Fig. 4's
+narrative): savings decrease monotonically with the factor while timing
+mispredictions vanish at large factors.
+"""
+
+from conftest import emit
+
+from repro.experiments import run_cell
+
+SWEEP = (0.01, 0.02, 0.05, 0.10, 0.20, 0.35)
+
+
+def _run():
+    cell = run_cell("gromacs", 16, displacements=SWEEP)
+    return cell
+
+
+def test_displacement_sweep(benchmark):
+    cell = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [f"GROMACS @16, GT={cell.gt_us:.0f}us, hit={cell.hit_rate_pct:.1f}%",
+             f"{'disp':>6s} {'savings%':>9s} {'slowdown%':>10s} "
+             f"{'timing-mispred':>15s}"]
+    rows = []
+    for d in SWEEP:
+        m = cell.managed[d]
+        rows.append((d, m.power_savings_pct, m.exec_time_increase_pct,
+                     m.total_mispredictions))
+        lines.append(f"{d*100:>5.0f}% {rows[-1][1]:>9.2f} {rows[-1][2]:>10.3f} "
+                     f"{rows[-1][3]:>15d}")
+    emit("ablation_displacement_sweep", "\n".join(lines))
+
+    savings = [r[1] for r in rows]
+    # savings monotonically non-increasing in the displacement factor
+    assert all(a >= b - 0.3 for a, b in zip(savings, savings[1:])), savings
+    # larger safety margins cannot create *more* emergency wake-ups
+    assert rows[-1][3] <= rows[0][3] + 2

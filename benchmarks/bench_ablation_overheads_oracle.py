@@ -1,0 +1,40 @@
+"""Ablation — instrumentation overheads on vs off (oracle software).
+
+Quantifies how much of the managed run's slowdown is the PMPI software
+cost (interception + PPA hashing) as opposed to reactivation penalties:
+rerun WRF (the most call-dense workload) with ``charge_overheads``
+disabled and compare.
+"""
+
+from conftest import emit
+
+from repro.experiments import run_cell
+
+
+def _run():
+    with_oh = run_cell("wrf", 16, displacements=(0.01,), use_cache=False,
+                       charge_overheads=True)
+    without = run_cell("wrf", 16, displacements=(0.01,), use_cache=False,
+                       charge_overheads=False)
+    return with_oh, without
+
+
+def test_overheads_vs_oracle(benchmark):
+    with_oh, without = benchmark.pedantic(_run, rounds=1, iterations=1)
+    m1, m0 = with_oh.managed[0.01], without.managed[0.01]
+    lines = [
+        f"{'variant':>22s} {'savings%':>9s} {'slowdown%':>10s}",
+        f"{'PMPI overheads on':>22s} {m1.power_savings_pct:>9.2f} "
+        f"{m1.exec_time_increase_pct:>10.3f}",
+        f"{'oracle (no overheads)':>22s} {m0.power_savings_pct:>9.2f} "
+        f"{m0.exec_time_increase_pct:>10.3f}",
+    ]
+    emit("ablation_overheads_oracle", "\n".join(lines))
+
+    # the oracle can only be faster
+    assert m0.exec_time_increase_pct <= m1.exec_time_increase_pct + 1e-6
+    # overheads must not be the dominant cost of the mechanism: even with
+    # them on, the slowdown stays in the paper's low-percent regime
+    assert m1.exec_time_increase_pct < 3.0
+    # savings are barely affected by the software overheads
+    assert abs(m1.power_savings_pct - m0.power_savings_pct) < 5.0

@@ -1,0 +1,34 @@
+"""Figure 10 — correctly-predicted-call rate vs grouping threshold.
+
+GROMACS at 64 and 128 processes, GT swept from the 2*T_react minimum to
+400 us.  Shape targets: the curve is non-trivial (spread between best
+and worst GT) and the best GT for GROMACS sits in the paper's selected
+range (20-240 us).
+"""
+
+from conftest import emit
+
+from repro.analysis import line_plot
+from repro.experiments import format_fig10, run_fig10
+
+
+def test_fig10_gt_sweep_gromacs(benchmark):
+    curves = benchmark.pedantic(
+        lambda: run_fig10("gromacs", sizes=(64, 128)),
+        rounds=1, iterations=1,
+    )
+    xs = [p.gt_us for p in curves[0].points]
+    plot = line_plot(
+        "correctly predicted MPI calls [%] vs GT (GROMACS)",
+        xs,
+        {f"{c.nranks} procs": [p.hit_rate_pct for p in c.points]
+         for c in curves},
+    )
+    emit("fig10_gt_sweep", format_fig10(curves) + "\n" + plot)
+
+    for curve in curves:
+        hits = [p.hit_rate_pct for p in curve.points]
+        assert max(hits) > 25.0
+        # GT matters: the spread between best and worst is substantial
+        assert max(hits) - min(hits) > 5.0
+        assert 20.0 <= curve.best.gt_us <= 240.0

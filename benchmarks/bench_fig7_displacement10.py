@@ -1,0 +1,30 @@
+"""Figure 7 — power savings and slowdown at displacement 10 %.
+
+Shape targets: average savings decreasing monotonically with the process
+count (strong scaling); NAS BT the best saver at the reference size;
+ALYA the worst; average slowdown well under 2 %.
+"""
+
+from conftest import emit, max_sizes
+
+from repro.experiments import format_figure, run_figure
+
+
+def test_fig7_displacement_10pct(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure(7, sizes_limit=max_sizes()),
+        rounds=1, iterations=1,
+    )
+    emit("fig7_displacement10", format_figure(result))
+
+    avg = result.average_savings()
+    # strong scaling: savings shrink as P grows
+    assert all(a >= b - 1.5 for a, b in zip(avg, avg[1:])), avg
+    assert avg[0] > 15.0
+
+    first = {app: s.savings_pct[0] for app, s in result.series.items()}
+    assert max(first, key=first.get) == "nas_bt"
+    assert min(first, key=first.get) == "alya"
+
+    slow = result.max_average_slowdown_pct
+    assert slow < 2.5, f"average slowdown too high: {slow}"

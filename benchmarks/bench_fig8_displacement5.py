@@ -1,0 +1,30 @@
+"""Figure 8 — power savings and slowdown at displacement 5 %.
+
+Shape target: savings strictly between the 10 % (Fig. 7) and 1 %
+(Fig. 9) operating points, with essentially unchanged slowdown.
+"""
+
+from conftest import emit, max_sizes
+
+from repro.experiments import run_figure, format_figure
+
+
+def test_fig8_displacement_5pct(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure(8, sizes_limit=max_sizes()),
+        rounds=1, iterations=1,
+    )
+    emit("fig8_displacement5", format_figure(result))
+
+    # compare against the neighbouring displacement points (cached cells)
+    fig7 = run_figure(7, sizes_limit=max_sizes())
+    fig9 = run_figure(9, sizes_limit=max_sizes())
+    a7 = fig7.average_savings()
+    a8 = result.average_savings()
+    a9 = fig9.average_savings()
+    for c in range(len(a8)):
+        assert a9[c] + 1e-6 >= a8[c] >= a7[c] - 1e-6, (
+            f"displacement ordering violated at column {c}: "
+            f"{a9[c]:.2f} / {a8[c]:.2f} / {a7[c]:.2f}"
+        )
+    assert result.max_average_slowdown_pct < 2.5

@@ -1,0 +1,41 @@
+"""Table I — distribution of link idle intervals (5 apps x 5 sizes).
+
+Regenerates the paper's motivation table: bucket counts and shares of
+idle intervals below 20 us, between 20 and 200 us, and above 200 us.
+Shape targets: >=99 % of accumulated idle time above 20 us at the
+reference sizes; the >200 us bucket dominating the idle time.
+"""
+
+from conftest import emit, max_sizes
+
+from repro.experiments import format_table1, run_table1
+from repro.workloads import APPLICATIONS, PROCESS_COUNTS
+
+
+def _rows():
+    limit = max_sizes()
+    rows = []
+    for app in APPLICATIONS:
+        sizes = PROCESS_COUNTS[app][:limit] if limit else PROCESS_COUNTS[app]
+        from repro.experiments import run_cell
+        from repro.experiments.table1 import build_row
+
+        for nranks in sizes:
+            rows.append(build_row(run_cell(app, nranks, displacements=())))
+    return rows
+
+
+def test_table1_idle_interval_distribution(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    text = format_table1(rows)
+    emit("table1_idle_intervals", text)
+
+    # paper-shape assertions: idle time overwhelmingly above 20 us
+    for row in rows:
+        assert row.distribution.reducible_time_share_pct > 88.0, (
+            f"{row.app}@{row.nranks}: too much idle time below 20 us"
+        )
+    # reference sizes: the long bucket dominates (>= 90 % of idle time)
+    for row in rows:
+        if row.nranks == PROCESS_COUNTS[row.app][0]:
+            assert row.distribution.long.time_share_pct > 90.0

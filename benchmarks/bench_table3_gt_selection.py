@@ -1,0 +1,50 @@
+"""Table III — chosen grouping threshold and MPI-call hit rate.
+
+Shape targets from the paper: ALYA and NAS BT near the top of the hit
+range, WRF lowest (25-33 %), NAS MG requiring a far larger GT than the
+other codes (150-382 us in the paper).
+"""
+
+from conftest import emit, max_sizes
+
+from repro.experiments import format_table3, run_cell
+from repro.experiments.table3 import build_row
+from repro.workloads import APPLICATIONS, PROCESS_COUNTS
+
+
+def _rows():
+    limit = max_sizes()
+    rows = []
+    for app in APPLICATIONS:
+        sizes = PROCESS_COUNTS[app][:limit] if limit else PROCESS_COUNTS[app]
+        for nranks in sizes:
+            rows.append(build_row(run_cell(app, nranks, displacements=())))
+    return rows
+
+
+def test_table3_gt_and_hit_rate(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    emit("table3_gt_selection", format_table3(rows))
+
+    by_app = {}
+    for row in rows:
+        by_app.setdefault(row.app, []).append(row)
+
+    # every chosen GT respects the 2*T_react minimum
+    assert all(r.gt_us >= 20.0 for r in rows)
+
+    # WRF's hit rate is the lowest of the five applications
+    mean = {a: sum(r.hit_rate_pct for r in rs) / len(rs)
+            for a, rs in by_app.items()}
+    assert mean["wrf"] == min(mean.values())
+
+    # ALYA and BT are the most predictable codes (the bound is loose so
+    # that REPRO_ITERATIONS-reduced smoke runs pass; at the default 40
+    # iterations both land in the 80s, vs the paper's 93/97-98 obtained
+    # on much longer production traces)
+    assert mean["alya"] > 60.0
+    assert mean["nas_bt"] > 60.0
+
+    # MG needs a larger grouping threshold than the halo-burst codes
+    mg_gt = max(r.gt_us for r in by_app["nas_mg"])
+    assert mg_gt >= 150.0

@@ -1,0 +1,28 @@
+"""Table IV — PPA overheads at 16 MPI processes.
+
+Shape targets: the PPA runs on only a small share of MPI calls (~0.4 to
+~5 % in the paper, avg 2.1 %), per-invocation overhead in the tens of
+microseconds (7-26 us band), and an amortised cost of a few us per call.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table4, run_table4
+from repro.experiments.table4 import average_row
+
+
+def test_table4_ppa_overheads(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_table4(nranks=16), rounds=1, iterations=1
+    )
+    emit("table4_ppa_overheads", format_table4(rows))
+
+    avg = average_row(rows)
+    # the PPA must be dormant on the vast majority of calls
+    assert avg.ppa_call_fraction_pct < 25.0
+    # per-invocation cost in (or near) the paper's 7-26 us band
+    assert 2.0 <= avg.per_invoked_call_us <= 40.0
+    # amortised cost stays within a few microseconds per call
+    assert avg.per_all_calls_us <= 6.0
+    # every app pays at least the 1 us interception on every call
+    assert all(r.per_all_calls_us >= 1.0 for r in rows)

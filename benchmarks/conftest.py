@@ -1,0 +1,47 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one table or figure of the paper.  Outputs
+are printed and also written to ``benchmarks/out/`` so the regenerated
+artefacts survive the pytest capture.
+
+Environment knobs:
+
+* ``REPRO_ITERATIONS``   — trace length (default 40);
+* ``REPRO_MAX_SIZES``    — truncate each application's size axis to the
+  first N process counts (default: all 5) for quick runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def max_sizes() -> int | None:
+    raw = os.environ.get("REPRO_MAX_SIZES")
+    return int(raw) if raw else None
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated artefact and persist it under out/."""
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _report_configuration():
+    from repro.experiments import default_iterations, table2_parameters
+
+    lines = [f"{k}: {v}" for k, v in table2_parameters().items()]
+    lines.append(f"trace iterations: {default_iterations()}")
+    ms = max_sizes()
+    lines.append(f"size-axis limit: {ms if ms else 'full paper grid'}")
+    emit("table2_configuration", "\n".join(lines))
+    yield

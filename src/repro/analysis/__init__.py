@@ -1,0 +1,18 @@
+"""Analysis helpers: Paraver-style timelines and ASCII figures."""
+
+from .figures import hbar_chart, line_plot
+from .paraver import (
+    TimelineRow,
+    render_timeline,
+    residency_summary,
+    timeline_rows,
+)
+
+__all__ = [
+    "hbar_chart",
+    "line_plot",
+    "TimelineRow",
+    "render_timeline",
+    "residency_summary",
+    "timeline_rows",
+]

@@ -1,0 +1,81 @@
+"""ASCII figure rendering: grouped bar charts in the paper's style.
+
+Figures 7-9 are grouped bar charts (five applications + the average, per
+size column).  We render the same data as horizontal text bars so the
+benches' stdout is directly comparable with the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def hbar_chart(
+    title: str,
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    *,
+    unit: str = "%",
+    width: int = 40,
+    max_value: float | None = None,
+) -> str:
+    """Horizontal grouped bar chart.
+
+    ``groups`` are the x-axis clusters (size columns); ``series`` maps a
+    label (application) to one value per group.
+    """
+
+    values = [v for vs in series.values() for v in vs]
+    peak = max_value if max_value is not None else (max(values) if values else 1.0)
+    peak = peak or 1.0
+    label_w = max((len(s) for s in series), default=5)
+    lines = [title]
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for label, vals in series.items():
+            if gi >= len(vals):
+                continue
+            v = vals[gi]
+            bar = "#" * max(0, int(round(width * v / peak)))
+            lines.append(f"  {label:<{label_w}s} {v:>8.2f}{unit} |{bar}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    title: str,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    height: int = 12,
+    width: int = 64,
+) -> str:
+    """Minimal ASCII scatter/line plot used by Fig. 10's curves."""
+
+    all_ys = [y for ys in series.values() for y in ys]
+    if not all_ys or not xs:
+        return title + "\n(no data)"
+    y_lo, y_hi = min(all_ys), max(all_ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox+*%@"
+    for si, (label, ys) in enumerate(series.items()):
+        m = marks[si % len(marks)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = m
+    lines = [title]
+    for r, row in enumerate(grid):
+        y_val = y_hi - (y_hi - y_lo) * r / (height - 1)
+        lines.append(f"{y_val:7.1f} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(f"{'':8s}x: {x_lo:.0f} .. {x_hi:.0f}")
+    legend = "  ".join(
+        f"{marks[i % len(marks)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(f"{'':8s}{legend}")
+    return "\n".join(lines)

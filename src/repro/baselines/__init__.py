@@ -1,0 +1,17 @@
+"""Comparator policies: the hardware baselines the paper argues against.
+
+* reactive on/off with an idle timer (wake on demand, latency exposed);
+* a perfect-prediction oracle (upper bound for any software scheme).
+"""
+
+from .compare import PolicyComparison, PolicyOutcome, compare_policies
+from .planners import NEVER_US, oracle_directives, reactive_directives
+
+__all__ = [
+    "PolicyComparison",
+    "PolicyOutcome",
+    "compare_policies",
+    "NEVER_US",
+    "oracle_directives",
+    "reactive_directives",
+]

@@ -1,0 +1,118 @@
+"""Three-way policy comparison: PPA vs reactive hardware vs oracle.
+
+Used by the ablation bench and the policy-comparison example.  Runs the
+same trace through the managed replay under each policy's directives and
+collects (savings, slowdown, wake penalties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import RuntimeConfig, plan_trace_directives, select_gt
+from ..power.states import WRPSParams
+from ..sim import ReplayConfig, replay_baseline, replay_managed
+from ..workloads import make_trace
+from .planners import oracle_directives, reactive_directives
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyOutcome:
+    policy: str
+    savings_pct: float
+    slowdown_pct: float
+    shutdowns: int
+    wake_penalty_us: float
+
+    def row(self) -> str:
+        return (
+            f"{self.policy:>10s} {self.savings_pct:>9.2f} "
+            f"{self.slowdown_pct:>10.3f} {self.shutdowns:>10d} "
+            f"{self.wake_penalty_us:>12.0f}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyComparison:
+    app: str
+    nranks: int
+    gt_us: float
+    outcomes: tuple[PolicyOutcome, ...]
+
+    def by_name(self, name: str) -> PolicyOutcome:
+        for o in self.outcomes:
+            if o.policy == name:
+                return o
+        raise KeyError(name)
+
+    def format(self) -> str:
+        lines = [
+            f"{self.app} @ {self.nranks} ranks (GT={self.gt_us:.0f} us)",
+            f"{'policy':>10s} {'savings%':>9s} {'slowdown%':>10s} "
+            f"{'shutdowns':>10s} {'penalty us':>12s}",
+        ]
+        lines.extend(o.row() for o in self.outcomes)
+        return "\n".join(lines)
+
+
+def compare_policies(
+    app: str,
+    nranks: int,
+    *,
+    iterations: int = 40,
+    seed: int = 1234,
+    displacement: float = 0.01,
+    reactive_threshold_us: float | None = None,
+    wrps: WRPSParams | None = None,
+) -> PolicyComparison:
+    """Run PPA, reactive and oracle policies over the same trace."""
+
+    params = wrps or WRPSParams.paper()
+    trace = make_trace(app, nranks, iterations=iterations, seed=seed)
+    cfg = ReplayConfig(seed=seed)
+    baseline = replay_baseline(trace, cfg)
+    gt = select_gt(baseline.event_logs)
+    # the mechanism requires GT >= 2*T_react: deep-sleep parameters can
+    # raise the break-even above the hit-rate-optimal threshold
+    gt_us = max(gt.gt_us, params.min_worthwhile_idle_us)
+
+    runs: list[tuple[str, list]] = []
+    ppa_cfg = RuntimeConfig(
+        gt_us=gt_us, displacement=displacement, wrps=params
+    )
+    ppa_directives, _ = plan_trace_directives(baseline.event_logs, ppa_cfg)
+    runs.append(("ppa", ppa_directives))
+    runs.append(
+        (
+            "reactive",
+            reactive_directives(
+                baseline.event_logs, params,
+                idle_threshold_us=reactive_threshold_us,
+            ),
+        )
+    )
+    runs.append(("oracle", oracle_directives(baseline.event_logs, params)))
+
+    outcomes = []
+    for name, directives in runs:
+        managed = replay_managed(
+            trace,
+            directives,
+            baseline_exec_time_us=baseline.exec_time_us,
+            displacement=displacement,
+            grouping_thresholds_us=[gt_us] * nranks,
+            config=cfg,
+            wrps=params,
+        )
+        outcomes.append(
+            PolicyOutcome(
+                policy=name,
+                savings_pct=managed.power_savings_pct,
+                slowdown_pct=managed.exec_time_increase_pct,
+                shutdowns=managed.total_shutdowns,
+                wake_penalty_us=managed.total_penalty_us,
+            )
+        )
+    return PolicyComparison(
+        app=app, nranks=nranks, gt_us=gt_us, outcomes=tuple(outcomes)
+    )

@@ -1,0 +1,272 @@
+"""Command-line interface: regenerate the paper's artefacts from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli table1 [--apps alya gromacs] [--iterations 30]
+    python -m repro.cli table3
+    python -m repro.cli table4 [--nranks 16]
+    python -m repro.cli figure --number 9 [--sizes-limit 3]
+    python -m repro.cli fig10 [--app gromacs --sizes 64 128]
+    python -m repro.cli cell --app alya --nranks 8 --displacement 0.01
+    python -m repro.cli timeline --app gromacs --nranks 16
+    python -m repro.cli gen --app alya --nranks 8 -o alya8.dim
+    python -m repro.cli replay alya8.dim [--displacement 0.01]
+
+Each subcommand prints the regenerated table/figure; ``--csv PATH``
+additionally writes machine-readable output.  ``gen``/``replay`` export
+synthetic traces to the text ``.dim`` format and run the full pipeline
+on any trace file (including hand-written ones).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Sequence
+
+from .analysis import render_timeline
+from .experiments import (
+    format_fig10,
+    format_figure,
+    format_table1,
+    format_table3,
+    format_table4,
+    run_cell,
+    run_fig10,
+    run_figure,
+    run_table1,
+    run_table3,
+    run_table4,
+)
+from .workloads import APPLICATIONS
+
+
+def _write_csv(path: str, header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(header)
+        writer.writerows(rows)
+    print(f"[csv written to {path}]", file=sys.stderr)
+
+
+def _cmd_table1(args) -> None:
+    rows = run_table1(apps=args.apps, iterations=args.iterations)
+    print(format_table1(rows))
+    if args.csv:
+        _write_csv(
+            args.csv,
+            ["app", "nranks",
+             "short_n", "short_int_pct", "short_time_pct",
+             "med_n", "med_int_pct", "med_time_pct",
+             "long_n", "long_int_pct", "long_time_pct"],
+            [r.cells() for r in rows],
+        )
+
+
+def _cmd_table3(args) -> None:
+    rows = run_table3(apps=args.apps, iterations=args.iterations)
+    print(format_table3(rows))
+    if args.csv:
+        _write_csv(
+            args.csv,
+            ["app", "nranks", "gt_us", "hit_rate_pct"],
+            [(r.app, r.nranks, r.gt_us, r.hit_rate_pct) for r in rows],
+        )
+
+
+def _cmd_table4(args) -> None:
+    rows = run_table4(apps=args.apps, nranks=args.nranks,
+                      iterations=args.iterations)
+    print(format_table4(rows))
+    if args.csv:
+        _write_csv(
+            args.csv,
+            ["app", "ppa_call_fraction_pct", "per_invoked_call_us",
+             "per_all_calls_us"],
+            [(r.app, r.ppa_call_fraction_pct, r.per_invoked_call_us,
+              r.per_all_calls_us) for r in rows],
+        )
+
+
+def _cmd_figure(args) -> None:
+    result = run_figure(args.number, apps=args.apps,
+                        iterations=args.iterations,
+                        sizes_limit=args.sizes_limit)
+    print(format_figure(result))
+    if args.csv:
+        rows = []
+        for app, series in result.series.items():
+            for n, sav, slow in zip(series.sizes, series.savings_pct,
+                                    series.slowdown_pct):
+                rows.append((app, n, sav, slow))
+        _write_csv(args.csv,
+                   ["app", "nranks", "savings_pct", "slowdown_pct"], rows)
+
+
+def _cmd_fig10(args) -> None:
+    curves = run_fig10(args.app, sizes=tuple(args.sizes),
+                       iterations=args.iterations)
+    print(format_fig10(curves))
+    if args.csv:
+        rows = []
+        for c in curves:
+            for p in c.points:
+                rows.append((c.app, c.nranks, p.gt_us, p.hit_rate_pct))
+        _write_csv(args.csv,
+                   ["app", "nranks", "gt_us", "hit_rate_pct"], rows)
+
+
+def _cmd_cell(args) -> None:
+    cell = run_cell(args.app, args.nranks,
+                    displacements=(args.displacement,),
+                    iterations=args.iterations)
+    m = cell.managed[args.displacement]
+    print(f"{args.app} @ {args.nranks} ranks, displacement "
+          f"{args.displacement * 100:.0f}%")
+    print(f"  GT              : {cell.gt_us:.0f} us")
+    print(f"  hit rate        : {cell.hit_rate_pct:.1f} %")
+    print(f"  power savings   : {m.power_savings_pct:.2f} %")
+    print(f"  exec-time incr. : {m.exec_time_increase_pct:.3f} %")
+    print(f"  shutdowns       : {m.total_shutdowns}")
+    print(f"  mispredictions  : {m.total_mispredictions} "
+          f"({m.total_penalty_us:.0f} us penalty)")
+
+
+def _cmd_timeline(args) -> None:
+    cell = run_cell(args.app, args.nranks,
+                    displacements=(args.displacement,),
+                    iterations=args.iterations)
+    m = cell.managed[args.displacement]
+    print(render_timeline(
+        m.accounts, m.exec_time_us, bins=args.bins,
+        title=f"{args.app} @ {args.nranks}: IB link power modes",
+    ))
+
+
+def _cmd_gen(args) -> None:
+    from .trace.io import save_trace
+    from .workloads import make_trace
+
+    iters = args.iterations or 40
+    trace = make_trace(args.app, args.nranks, iterations=iters,
+                       seed=args.seed, scaling=args.scaling)
+    save_trace(trace, args.output)
+    print(f"wrote {args.output}: {trace.nranks} ranks, "
+          f"{trace.total_mpi_calls} MPI calls, "
+          f"{trace.total_records} records")
+
+
+def _cmd_replay(args) -> None:
+    from .core import RuntimeConfig, plan_trace_directives, select_gt
+    from .sim import replay_baseline, replay_managed
+    from .trace.io import load_trace
+
+    trace = load_trace(args.trace)
+    problems = trace.check_p2p_balance()
+    if problems:
+        print("trace is not communication-balanced:", file=sys.stderr)
+        for p in problems[:10]:
+            print(f"  {p}", file=sys.stderr)
+        raise SystemExit(2)
+    baseline = replay_baseline(trace)
+    print(f"{trace.name}: {trace.nranks} ranks, baseline "
+          f"{baseline.exec_time_us / 1e3:.3f} ms")
+    gt = select_gt(baseline.event_logs)
+    print(f"GT = {gt.gt_us:.0f} us, hit rate = {gt.hit_rate_pct:.1f}%")
+    cfg = RuntimeConfig(gt_us=gt.gt_us, displacement=args.displacement)
+    directives, stats = plan_trace_directives(baseline.event_logs, cfg)
+    managed = replay_managed(
+        trace, directives,
+        baseline_exec_time_us=baseline.exec_time_us,
+        displacement=args.displacement,
+        grouping_thresholds_us=[gt.gt_us] * trace.nranks,
+        runtime_stats=stats,
+    )
+    print(f"power savings   : {managed.power_savings_pct:.2f} %")
+    print(f"exec-time incr. : {managed.exec_time_increase_pct:.3f} %")
+    print(f"shutdowns       : {managed.total_shutdowns}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--iterations", type=int, default=None,
+                       help="trace length (default: REPRO_ITERATIONS or 40)")
+        p.add_argument("--csv", default=None, help="also write CSV here")
+
+    p = sub.add_parser("table1", help="idle-interval distribution")
+    p.add_argument("--apps", nargs="*", default=None, choices=APPLICATIONS)
+    common(p)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table3", help="GT selection + hit rate")
+    p.add_argument("--apps", nargs="*", default=None, choices=APPLICATIONS)
+    common(p)
+    p.set_defaults(func=_cmd_table3)
+
+    p = sub.add_parser("table4", help="PPA overheads")
+    p.add_argument("--apps", nargs="*", default=None, choices=APPLICATIONS)
+    p.add_argument("--nranks", type=int, default=16)
+    common(p)
+    p.set_defaults(func=_cmd_table4)
+
+    p = sub.add_parser("figure", help="Figs. 7/8/9: savings & slowdown")
+    p.add_argument("--number", type=int, required=True, choices=(7, 8, 9))
+    p.add_argument("--apps", nargs="*", default=None, choices=APPLICATIONS)
+    p.add_argument("--sizes-limit", type=int, default=None)
+    common(p)
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("fig10", help="hit rate vs GT sweep")
+    p.add_argument("--app", default="gromacs", choices=APPLICATIONS)
+    p.add_argument("--sizes", nargs="*", type=int, default=[64, 128])
+    common(p)
+    p.set_defaults(func=_cmd_fig10)
+
+    p = sub.add_parser("cell", help="one (app, nranks) pipeline run")
+    p.add_argument("--app", required=True, choices=APPLICATIONS)
+    p.add_argument("--nranks", type=int, required=True)
+    p.add_argument("--displacement", type=float, default=0.01)
+    common(p)
+    p.set_defaults(func=_cmd_cell)
+
+    p = sub.add_parser("timeline", help="Fig. 6 power-mode timeline")
+    p.add_argument("--app", default="gromacs", choices=APPLICATIONS)
+    p.add_argument("--nranks", type=int, default=16)
+    p.add_argument("--displacement", type=float, default=0.10)
+    p.add_argument("--bins", type=int, default=96)
+    common(p)
+    p.set_defaults(func=_cmd_timeline)
+
+    p = sub.add_parser("gen", help="write a synthetic trace to a .dim file")
+    p.add_argument("--app", required=True, choices=APPLICATIONS)
+    p.add_argument("--nranks", type=int, required=True)
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--scaling", default="strong", choices=("strong", "weak"))
+    p.add_argument("-o", "--output", required=True)
+    common(p)
+    p.set_defaults(func=_cmd_gen)
+
+    p = sub.add_parser("replay", help="full pipeline on a trace file")
+    p.add_argument("trace", help="path to a .dim trace file")
+    p.add_argument("--displacement", type=float, default=0.01)
+    common(p)
+    p.set_defaults(func=_cmd_replay)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

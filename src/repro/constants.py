@@ -1,0 +1,117 @@
+"""Physical and simulation constants shared across the reproduction.
+
+All values are taken directly from the paper (Dickov et al., ICPP 2014),
+its Table II, or the Mellanox/IBM data sheets the paper cites.  Times are
+expressed in **microseconds** and data sizes in **bytes** throughout the
+code base; power is normalised so that a fully-active 4X link consumes
+``1.0`` unit of power.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Link power management (Section II-A and IV-A of the paper)
+# --------------------------------------------------------------------------
+
+#: Time to reactivate the three powered-down lanes of a 4X IB link, in
+#: microseconds.  The paper takes the worst case of the 10 us cited from
+#: Hoefler [5] for on/off lane transitions.
+T_REACT_US: float = 10.0
+
+#: Power drawn in low-power (1X width) mode as a fraction of nominal 4X
+#: power.  Mellanox SX6036 with WRPS consumes 43% of nominal when three of
+#: the four QDR lanes are shut down (paper Section II-A, citing [11]).
+LOW_POWER_FRACTION: float = 0.43
+
+#: Power drawn while a link is transitioning between modes, as a fraction
+#: of nominal.  The paper charges transitions at full power (Section III-B:
+#: "For the shifting phase, we take that consumed power would equal the
+#: power when link is fully operative").
+TRANSITION_POWER_FRACTION: float = 1.0
+
+#: Fraction of total switch power attributable to the links, from the IBM
+#: InfiniBand 8-port 12X switch datum cited in the introduction [4].  Used
+#: only by the switch-level power aggregation model, not by the headline
+#: per-link savings numbers (which follow the paper's convention).
+LINK_SHARE_OF_SWITCH_POWER: float = 0.64
+
+#: Reactivation time of deeper switch components (input buffers, crossbar)
+#: for the Section VI "deeper sleep" extension — up to a millisecond.
+T_REACT_DEEP_US: float = 1000.0
+
+#: Power fraction of an entire switch in the hypothetical deep-sleep mode.
+DEEP_SLEEP_POWER_FRACTION: float = 0.10
+
+# --------------------------------------------------------------------------
+# Pattern prediction (Section III-A)
+# --------------------------------------------------------------------------
+
+#: Minimum grouping threshold: idle times must exceed 2 * T_react for lane
+#: shutdown to pay off (T_idle > 2 * T_react), so GT can never be below it.
+MIN_GROUPING_THRESHOLD_US: float = 2.0 * T_REACT_US
+
+#: Number of consecutive pattern repeats after which a pattern is declared
+#: predicted ("If the same pattern appears three times consecutively, we
+#: predict that the 4-th one will be the same").  The counter semantics in
+#: Algorithm 2 declare prediction once consecutiveRepeats > 2.
+CONSECUTIVE_REPEATS_TO_PREDICT: int = 2
+
+#: Smallest n-gram considered a repeat (a bi-gram).
+MIN_PATTERN_SIZE: int = 2
+
+#: Default displacement factors evaluated in the paper (Figs. 7-9).
+DISPLACEMENT_FACTORS: tuple[float, ...] = (0.01, 0.05, 0.10)
+
+# --------------------------------------------------------------------------
+# Simulated system parameters (Table II)
+# --------------------------------------------------------------------------
+
+#: Network bandwidth per fully-active 4X QDR link: 40 Gbit/s.  Converted to
+#: bytes per microsecond: 40e9 / 8 / 1e6 = 5000 B/us.
+LINK_BANDWIDTH_BYTES_PER_US: float = 40.0e9 / 8.0 / 1.0e6
+
+#: Bandwidth when reduced to 1X width (one lane of four): 10 Gbit/s.
+LOW_POWER_BANDWIDTH_BYTES_PER_US: float = LINK_BANDWIDTH_BYTES_PER_US / 4.0
+
+#: Maximum transfer segment size (Table II): 2 KB.
+SEGMENT_SIZE_BYTES: int = 2048
+
+#: Base MPI latency (Table II): 1 us end-to-end software overhead.
+MPI_LATENCY_US: float = 1.0
+
+#: Per-switch-hop latency contribution (typical IB QDR switch ~100-200 ns;
+#: the aggregate end-to-end latency is dominated by MPI_LATENCY_US).
+SWITCH_HOP_LATENCY_US: float = 0.1
+
+#: Eager/rendezvous protocol crossover used by the replay engine.  Messages
+#: at or below this size are sent eagerly; larger ones handshake first.
+EAGER_THRESHOLD_BYTES: int = 12 * 1024
+
+#: XGFT parameters used in the paper's evaluation: XGFT(2; 18, 14; 1, 18) —
+#: two levels, 18 nodes per leaf switch, 14 leaf switches per spine group,
+#: 1 uplink per leaf port group, 18 spine connections.
+XGFT_HEIGHT: int = 2
+XGFT_CHILDREN: tuple[int, ...] = (18, 14)
+XGFT_PARENTS: tuple[int, ...] = (1, 18)
+
+# --------------------------------------------------------------------------
+# Measurement / instrumentation model (Section IV-D)
+# --------------------------------------------------------------------------
+
+#: Cost of intercepting one MPI call in the PMPI layer and reading the
+#: system clock ("approximately around 1 us").
+INTERCEPT_OVERHEAD_US: float = 1.0
+
+#: Idle interval bucket boundaries used by Table I, in microseconds.
+IDLE_BUCKET_EDGES_US: tuple[float, float] = (20.0, 200.0)
+
+# --------------------------------------------------------------------------
+# Paraver-style MPI event identifiers
+# --------------------------------------------------------------------------
+# The paper's Figures 2-3 use Paraver/Dimemas numeric IDs for MPI calls
+# (41 = MPI_Sendrecv, 10 = MPI_Allreduce).  The full registry lives in
+# repro.trace.events; these two are re-exported here because the worked
+# example in the paper depends on their exact values.
+
+MPI_ALLREDUCE_ID: int = 10
+MPI_SENDRECV_ID: int = 41

@@ -1,0 +1,73 @@
+"""The paper's primary contribution: PPA + power mode control + runtime.
+
+* :mod:`repro.core.grams` — Algorithm 1, grouping MPI calls into grams;
+* :mod:`repro.core.patterns` — pattern records and the pattern list;
+* :mod:`repro.core.ppa` — Algorithm 2, n-gram pattern prediction;
+* :mod:`repro.core.powerctl` — Algorithm 3, power mode control;
+* :mod:`repro.core.runtime` — the PMPI interposition pipeline;
+* :mod:`repro.core.gt_search` — grouping-threshold tuning (Section IV-C);
+* :mod:`repro.core.overheads` — instrumentation cost model (Section IV-D).
+"""
+
+from .grams import Gram, GramBuilder, GramSignature, build_grams, gram_gaps_us
+from .gt_search import (
+    GTEvaluation,
+    default_gt_candidates,
+    evaluate_gt,
+    gt_sweep,
+    select_gt,
+)
+from .overheads import OverheadModel, OverheadReport
+from .patterns import (
+    GapEstimator,
+    PatternKey,
+    PatternList,
+    PatternRecord,
+    format_pattern,
+    pattern_key,
+)
+from .powerctl import (
+    GramCheck,
+    PowerControlConfig,
+    PowerModeMonitor,
+    ShutdownPlan,
+)
+from .ppa import PPA, PPAConfig, PredictionDeclaration
+from .runtime import (
+    PMPIRuntime,
+    RuntimeConfig,
+    RuntimeStats,
+    plan_trace_directives,
+)
+
+__all__ = [
+    "Gram",
+    "GramBuilder",
+    "GramSignature",
+    "build_grams",
+    "gram_gaps_us",
+    "GTEvaluation",
+    "default_gt_candidates",
+    "evaluate_gt",
+    "gt_sweep",
+    "select_gt",
+    "OverheadModel",
+    "OverheadReport",
+    "GapEstimator",
+    "PatternKey",
+    "PatternList",
+    "PatternRecord",
+    "format_pattern",
+    "pattern_key",
+    "GramCheck",
+    "PowerControlConfig",
+    "PowerModeMonitor",
+    "ShutdownPlan",
+    "PPA",
+    "PPAConfig",
+    "PredictionDeclaration",
+    "PMPIRuntime",
+    "RuntimeConfig",
+    "RuntimeStats",
+    "plan_trace_directives",
+]

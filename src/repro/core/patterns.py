@@ -1,0 +1,179 @@
+"""Pattern objects and the pattern list (the paper's uthash table).
+
+A *pattern* is a sequence of grams.  The pattern list maps a pattern's
+key — the tuple of gram signatures — to a :class:`PatternRecord` holding
+its frequency, recorded positions in the gram array, the ``detected``
+flag (set once the pattern has been declared predictable; enables the
+paper's fast re-arm after a misprediction), and the timing statistics
+used to program the reactivation timer.
+
+Timing statistics: for a pattern of length ``s`` there are ``s`` idle
+boundaries per cycle — the gap after gram ``j`` for ``j < s-1``, plus the
+wrap gap from the cycle's last gram to the next cycle's first.  Each
+boundary keeps an exponentially-weighted moving average, matching the
+paper's "inter-communication intervals continue to be updated with the
+new values allowing more accurate transition between power modes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .grams import Gram, GramSignature
+
+PatternKey = tuple[GramSignature, ...]
+
+
+def pattern_key(grams: Sequence[Gram | GramSignature]) -> PatternKey:
+    """Normalise a window of grams (or raw signatures) into a dict key."""
+
+    out = []
+    for g in grams:
+        out.append(g.signature if isinstance(g, Gram) else tuple(g))
+    return tuple(out)
+
+
+def format_pattern(key: PatternKey) -> str:
+    """Human-readable form matching the paper's notation, e.g.
+    ``41-41-41_10_10``."""
+
+    return "_".join("-".join(str(c) for c in sig) for sig in key)
+
+
+@dataclass(slots=True)
+class GapEstimator:
+    """EWMA of one idle boundary's duration."""
+
+    alpha: float = 0.5
+    value_us: float | None = None
+    observations: int = 0
+
+    def update(self, gap_us: float) -> None:
+        if gap_us < 0:
+            raise ValueError("negative gap")
+        if self.value_us is None:
+            self.value_us = gap_us
+        else:
+            self.value_us = self.alpha * gap_us + (1 - self.alpha) * self.value_us
+        self.observations += 1
+
+    @property
+    def is_ready(self) -> bool:
+        return self.value_us is not None
+
+
+@dataclass(slots=True)
+class PatternRecord:
+    """One entry of the pattern list."""
+
+    key: PatternKey
+    frequency: int = 0
+    positions: list[int] = field(default_factory=list)
+    detected: bool = False
+    gap_after: list[GapEstimator] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.gap_after:
+            self.gap_after = [GapEstimator() for _ in self.key]
+
+    @property
+    def size(self) -> int:
+        return len(self.key)
+
+    @property
+    def n_mpi_calls(self) -> int:
+        return sum(len(sig) for sig in self.key)
+
+    def record_occurrence(self, position: int) -> None:
+        self.frequency += 1
+        if not self.positions or self.positions[-1] != position:
+            self.positions.append(position)
+
+    def consecutive_pairs(self) -> int:
+        """Adjacent-occurrence pairs among recorded positions.
+
+        Two occurrences are *consecutive* when their positions differ by
+        exactly the pattern size (back-to-back repeats in the gram array).
+        Only the trailing run of adjacency counts — a gap in the
+        repetition resets the run, per the paper's "appears three times
+        consecutively".
+        """
+
+        run = 0
+        for prev, cur in zip(self.positions, self.positions[1:]):
+            if cur - prev == self.size:
+                run += 1
+            else:
+                run = 0
+        return run
+
+    def observe_gap(self, boundary: int, gap_us: float) -> None:
+        """Update the EWMA for the gap after gram ``boundary`` (0-based;
+        the last boundary is the wrap to the next cycle)."""
+
+        self.gap_after[boundary % self.size].update(gap_us)
+
+    def predicted_gap_us(self, boundary: int) -> float | None:
+        est = self.gap_after[boundary % self.size]
+        return est.value_us
+
+
+class PatternList:
+    """Hash table of patterns (the uthash equivalent).
+
+    Every mutating access increments :attr:`operations`; the Table IV
+    overhead model charges PPA time proportionally to it.
+    """
+
+    def __init__(self, gap_alpha: float = 0.5) -> None:
+        self._table: dict[PatternKey, PatternRecord] = {}
+        self.gap_alpha = gap_alpha
+        self.operations = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, key: PatternKey) -> bool:
+        return key in self._table
+
+    def get(self, key: PatternKey) -> PatternRecord | None:
+        self.operations += 1
+        return self._table.get(key)
+
+    def update(self, key: PatternKey, position: int) -> tuple[PatternRecord, bool]:
+        """Record an occurrence; returns ``(record, was_new)``.
+
+        Mirrors the paper's ``updatePL``: inserts the pattern on first
+        sight, bumps frequency and appends the position otherwise.
+        """
+
+        self.operations += 1
+        rec = self._table.get(key)
+        was_new = rec is None
+        if rec is None:
+            rec = PatternRecord(key=key)
+            for est in rec.gap_after:
+                est.alpha = self.gap_alpha
+            self._table[key] = rec
+        rec.record_occurrence(position)
+        return rec, was_new
+
+    def bump_frequency(self, key: PatternKey, delta: int = 1) -> None:
+        """Frequency-only adjustment (the paper's checkO transfers counts
+        from the prefix n-gram to the extended one)."""
+
+        self.operations += 1
+        rec = self._table.get(key)
+        if rec is not None:
+            rec.frequency = max(0, rec.frequency + delta)
+
+    def remove(self, key: PatternKey) -> None:
+        self.operations += 1
+        self._table.pop(key, None)
+
+    def detected_patterns(self) -> list[PatternRecord]:
+        return [r for r in self._table.values() if r.detected]
+
+    def values(self) -> Iterable[PatternRecord]:
+        return self._table.values()

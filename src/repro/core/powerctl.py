@@ -1,0 +1,151 @@
+"""Power-mode control — Algorithm 3 of the paper.
+
+Once the PPA has declared a pattern, the runtime switches from the
+pattern-prediction component to the power-mode-control component: each
+incoming MPI call is checked against the predicted pattern *call by
+call*; when the calls seen so far complete the predicted gram (same size
+and content), the turn-off-lanes instruction is issued right at that
+call's exit, with the hardware timer programmed per Algorithm 3::
+
+    safetyLimit      = idleTime * displacementFactor + T_react
+    predictIdleTime  = idleTime - safetyLimit
+    WRPS_method(predictIdleTime)
+
+``idleTime`` is the running (EWMA) estimate of the idle boundary that
+follows this gram in the pattern cycle; the displacement factor trades
+power for safety margin (Fig. 4): the lanes come back up a fraction of
+the idle interval *early*, so ordinary jitter does not stall the next
+communication.
+
+Both misprediction types of the paper surface here:
+
+* **pattern misprediction** — the observed call deviates from the
+  predicted gram (wrong call id, gram ends early, or gram runs past the
+  predicted size).  The monitor reports a mismatch; the runtime flips
+  back to the PPA.  Any already-issued shutdown is paid for naturally in
+  the replay (the next transfer finds the link below full width).
+* **timing misprediction** — the pattern holds but the real idle interval
+  is shorter than predicted minus the safety limit; the replay charges
+  the residual reactivation time to the blocked transfer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .patterns import PatternRecord
+
+
+class GramCheck(enum.Enum):
+    """Outcome of feeding one call to the monitor."""
+
+    MATCH_PARTIAL = "partial"       # call matches; gram not yet complete
+    MATCH_COMPLETE = "complete"     # call matches and completes the gram
+    MISMATCH = "mismatch"           # pattern misprediction
+
+
+@dataclass(frozen=True, slots=True)
+class ShutdownPlan:
+    """A turn-off instruction with its programmed timer."""
+
+    timer_us: float
+    predicted_idle_us: float
+    boundary: int
+
+
+@dataclass(frozen=True, slots=True)
+class PowerControlConfig:
+    displacement: float
+    gt_us: float
+    t_react_us: float
+    t_deact_us: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.displacement < 1.0:
+            raise ValueError("displacement factor must be in [0, 1)")
+        if self.gt_us < 2.0 * self.t_react_us:
+            raise ValueError("GT below the 2*T_react break-even")
+
+
+class PowerModeMonitor:
+    """Tracks the predicted pattern cycle for one MPI process."""
+
+    def __init__(self, record: PatternRecord, config: PowerControlConfig) -> None:
+        if record.size < 1:
+            raise ValueError("empty pattern")
+        self.record = record
+        self.config = config
+        self.cycle_pos = 0        # index of the gram we are matching
+        self.pos_in_gram = 0      # calls of that gram seen so far
+        self.grams_matched = 0
+        self.calls_matched = 0
+        self.shutdowns_planned = 0
+        #: set after a gram completes: the next call must arrive across a
+        #: >= GT gap; a continuation means the real gram ran longer than
+        #: the predicted one (pattern misprediction).
+        self._expect_boundary = False
+
+    # ---------------------------------------------------------------- feeding
+
+    @property
+    def expected_signature(self) -> tuple[int, ...]:
+        return self.record.key[self.cycle_pos]
+
+    def begin_new_gram(self, observed_gap_us: float) -> bool:
+        """The stream opened a new gram (gap >= GT).
+
+        Returns ``False`` (pattern misprediction) if the previous gram
+        had not been completed yet.  On success, the observed gap updates
+        the EWMA of the boundary that just elapsed.
+        """
+
+        if self.pos_in_gram != 0:
+            # previous gram ended before the predicted number of calls
+            return False
+        self._expect_boundary = False
+        boundary = (self.cycle_pos - 1) % self.record.size
+        self.record.observe_gap(boundary, observed_gap_us)
+        return True
+
+    def feed_call(self, call_id: int) -> GramCheck:
+        """Check one MPI call against the expected gram."""
+
+        if self._expect_boundary:
+            # the real gram ran past the predicted size (no >= GT gap
+            # appeared where the pattern requires one)
+            return GramCheck.MISMATCH
+        sig = self.expected_signature
+        if self.pos_in_gram >= len(sig) or sig[self.pos_in_gram] != call_id:
+            return GramCheck.MISMATCH
+        self.pos_in_gram += 1
+        self.calls_matched += 1
+        if self.pos_in_gram == len(sig):
+            self.grams_matched += 1
+            self.pos_in_gram = 0
+            self._expect_boundary = True
+            self.cycle_pos = (self.cycle_pos + 1) % self.record.size
+            return GramCheck.MATCH_COMPLETE
+        return GramCheck.MATCH_PARTIAL
+
+    # --------------------------------------------------------------- planning
+
+    def plan_shutdown(self) -> ShutdownPlan | None:
+        """Algorithm 3's body, for the boundary that follows the gram that
+        just completed (call after :meth:`feed_call` returned
+        ``MATCH_COMPLETE``; ``cycle_pos`` has already advanced)."""
+
+        boundary = (self.cycle_pos - 1) % self.record.size
+        idle = self.record.predicted_gap_us(boundary)
+        if idle is None:
+            return None
+        cfg = self.config
+        if idle <= 2.0 * cfg.t_react_us or idle < cfg.gt_us:
+            # too short to pay the toggle / below the useless-region cutoff
+            return None
+        safety = idle * cfg.displacement + cfg.t_react_us
+        timer = idle - safety
+        if timer <= cfg.t_deact_us:
+            return None
+        self.shutdowns_planned += 1
+        return ShutdownPlan(timer_us=timer, predicted_idle_us=idle, boundary=boundary)

@@ -1,0 +1,258 @@
+"""The Pattern Prediction Algorithm — Algorithm 2 of the paper.
+
+The PPA watches the growing array of grams and finds the smallest
+contiguous pattern that repeats back-to-back, declaring it *predictable*
+after three consecutive appearances (or after a single reappearance of a
+pattern that was already detected earlier — the paper's fast re-arm).
+
+Operational specification (behaviour-equivalent restatement of the
+paper's Algorithm 2, validated against the Fig. 3 walkthrough — see
+``tests/core/test_ppa_paper_example.py``):
+
+* A scan pointer ``p`` slides over the gram array with the current
+  window size ``s`` (initially 2, a bi-gram).
+* **New window** → insert into the pattern list, advance ``p`` by 1.
+* **Match with the immediately preceding occurrence** (position
+  ``p - s``) → a consecutive repeat: the window becomes the locked
+  candidate, ``p`` strides by ``s``, and once the trailing run of
+  adjacent occurrences reaches 2 pairs (three back-to-back appearances)
+  the pattern is **declared** and prediction begins at gram ``p + s``.
+* **Match with an older occurrence** ``q`` → growth: while the extension
+  gram matches (the paper's ``checkO`` — the previous occurrence of the
+  prefix can be constructed into the same larger n-gram), enlarge the
+  window one gram at a time, transferring frequency from the prefix to
+  the extension.  Growth is bounded by ``p - q`` (beyond that the two
+  occurrences overlap into adjacency) and by ``maxPatternSize`` once one
+  pattern has been detected (the paper's natural-iteration lock, line 32
+  of Algorithm 2).
+* **Failed growth** → reset to bi-gram scanning at ``p + 1`` (Algorithm 2
+  lines 37-40).
+* **Fast re-arm**: any window whose pattern-list record is already
+  ``detected`` re-declares prediction immediately.
+
+Positions recorded for a grown pattern start at the position where the
+growth happened (the historical anchor only contributes frequency, not a
+position) — this is what makes the declaration land on MPI event #21 in
+the paper's Fig. 3, with prediction starting at gram 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constants import CONSECUTIVE_REPEATS_TO_PREDICT, MIN_PATTERN_SIZE
+from .grams import Gram
+from .patterns import PatternKey, PatternList, PatternRecord, pattern_key
+
+
+@dataclass(frozen=True, slots=True)
+class PPAConfig:
+    """Tunables of the prediction algorithm (paper defaults)."""
+
+    consecutive_to_predict: int = CONSECUTIVE_REPEATS_TO_PREDICT
+    #: hard cap on pattern growth before any detection has locked
+    #: maxPatternSize; protects against pathological streams.
+    pattern_size_cap: int = 64
+    gap_alpha: float = 0.5
+
+
+@dataclass(frozen=True, slots=True)
+class PredictionDeclaration:
+    """Emitted when the PPA declares a pattern predictable."""
+
+    record: PatternRecord
+    anchor_gram_index: int   # prediction applies from this gram onward
+    fast_rearm: bool
+
+
+class PPA:
+    """Per-process pattern prediction (each MPI process runs its own)."""
+
+    def __init__(self, config: PPAConfig | None = None) -> None:
+        self.config = config or PPAConfig()
+        self.grams: list[Gram] = []
+        self.pattern_list = PatternList(gap_alpha=self.config.gap_alpha)
+        self.scan_pos = 0
+        self.pattern_size = MIN_PATTERN_SIZE
+        self.max_pattern_size: int | None = None
+        self.candidate: PatternKey | None = None
+        self._growing = False
+        self._grow_anchor = 0       # q: older occurrence used by checkO
+        self._grow_pos = 0          # p: position being grown
+        self.compare_ops = 0        # gram comparisons (overhead model)
+        self.declarations = 0
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def operations(self) -> int:
+        """Total pattern-table + comparison operations so far."""
+
+        return self.pattern_list.operations + self.compare_ops
+
+    def add_gram(self, gram: Gram) -> PredictionDeclaration | None:
+        """Feed one closed gram; scan; maybe declare a prediction."""
+
+        self.grams.append(gram)
+        return self._scan()
+
+    def append_only(self, gram: Gram) -> None:
+        """Record a gram without scanning (PPA dormant during prediction)."""
+
+        self.grams.append(gram)
+
+    def relaunch(self, from_gram_index: int) -> None:
+        """Restart scanning after a misprediction (pattern list kept)."""
+
+        self.scan_pos = from_gram_index
+        self.pattern_size = MIN_PATTERN_SIZE
+        self.candidate = None
+        self._growing = False
+
+    # ------------------------------------------------------------------ scan
+
+    def _window(self, p: int, s: int) -> PatternKey:
+        return pattern_key(self.grams[p : p + s])
+
+    def _gap(self, i: int) -> float:
+        return max(0.0, self.grams[i + 1].start_us - self.grams[i].end_us)
+
+    def _size_limit(self) -> int:
+        cap = self.config.pattern_size_cap
+        if self.max_pattern_size is not None:
+            cap = min(cap, self.max_pattern_size)
+        return cap
+
+    def _scan(self) -> PredictionDeclaration | None:
+        while True:
+            if self._growing:
+                result = self._grow_step()
+            else:
+                result = self._scan_step()
+            if result is _WAIT:
+                return None
+            if isinstance(result, PredictionDeclaration):
+                return result
+            # else: made progress, loop again
+
+    def _scan_step(self):
+        p, s = self.scan_pos, self.pattern_size
+        if p + s > len(self.grams):
+            return _WAIT
+        key = self._window(p, s)
+
+        if self.candidate is not None and key != self.candidate:
+            # the locked candidate broke: fall back to bi-gram scanning
+            # at the same position
+            self.candidate = None
+            self.pattern_size = MIN_PATTERN_SIZE
+            return _PROGRESS
+
+        rec, was_new = self.pattern_list.update(key, p)
+        if was_new:
+            self.scan_pos = p + 1
+            return _PROGRESS
+
+        if rec.detected:
+            return self._declare(rec, p + s, fast_rearm=True)
+
+        prev = rec.positions[-2] if len(rec.positions) >= 2 else None
+        if prev is not None and p - prev == s:
+            # consecutive repeat
+            self.candidate = key
+            self._observe_occurrence_gaps(rec, p)
+            self.scan_pos = p + s
+            if rec.consecutive_pairs() >= self.config.consecutive_to_predict:
+                return self._declare(rec, p + s, fast_rearm=False)
+            return _PROGRESS
+
+        if prev is not None and self.candidate is None and s == MIN_PATTERN_SIZE:
+            # older occurrence: try to grow the pattern (checkO path)
+            self._growing = True
+            self._grow_anchor = prev
+            self._grow_pos = p
+            return _PROGRESS
+
+        # match that can neither count as consecutive nor grow: move on
+        self.scan_pos = p + 1
+        return _PROGRESS
+
+    def _grow_step(self):
+        p, q, s = self._grow_pos, self._grow_anchor, self.pattern_size
+        limit = min(p - q, self._size_limit())
+        if s >= limit:
+            return self._finish_growth(p, s)
+        if p + s >= len(self.grams):
+            return _WAIT
+        self.compare_ops += 1
+        if self.grams[q + s].signature != self.grams[p + s].signature:
+            # failed extension: reset to bi-gram scanning past p
+            # (Algorithm 2 lines 37-40)
+            self._growing = False
+            self.candidate = None
+            self.pattern_size = MIN_PATTERN_SIZE
+            self.scan_pos = p + 1
+            return _PROGRESS
+        # extend: transfer frequency from the prefix to the larger n-gram
+        prefix_key = self._window(p, s)
+        new_size = s + 1
+        key = self._window(p, new_size)
+        rec, _was_new = self.pattern_list.update(key, p)
+        self.pattern_list.bump_frequency(key, +1)
+        self.pattern_list.bump_frequency(prefix_key, -1)
+        self.pattern_size = new_size
+        if rec.detected:
+            self._growing = False
+            return self._declare(rec, p + new_size, fast_rearm=True)
+        return _PROGRESS
+
+    def _finish_growth(self, p: int, s: int):
+        """Growth exhausted: lock the grown window as the candidate."""
+
+        self._growing = False
+        self.candidate = self._window(p, s)
+        rec = self.pattern_list.get(self.candidate)
+        assert rec is not None
+        self._observe_occurrence_gaps(rec, p)
+        self.scan_pos = p + s
+        if rec.consecutive_pairs() >= self.config.consecutive_to_predict:
+            return self._declare(rec, p + s, fast_rearm=False)
+        return _PROGRESS
+
+    # ------------------------------------------------------------ declaration
+
+    def _observe_occurrence_gaps(self, rec: PatternRecord, pos: int) -> None:
+        """Feed the inter-gram gaps of the occurrence at ``pos`` into the
+        pattern's boundary estimators (wrap gap included when available)."""
+
+        s = rec.size
+        for j in range(s):
+            i = pos + j
+            if i + 1 < len(self.grams):
+                rec.observe_gap(j, self._gap(i))
+
+    def _declare(
+        self, rec: PatternRecord, anchor: int, fast_rearm: bool
+    ) -> PredictionDeclaration:
+        rec.detected = True
+        if self.max_pattern_size is None:
+            # lock the natural iteration length (Algorithm 2 line 32)
+            self.max_pattern_size = rec.size
+        self.declarations += 1
+        return PredictionDeclaration(
+            record=rec, anchor_gram_index=anchor, fast_rearm=fast_rearm
+        )
+
+
+class _Token:
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.name
+
+
+_WAIT = _Token("WAIT")
+_PROGRESS = _Token("PROGRESS")

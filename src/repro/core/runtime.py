@@ -1,0 +1,288 @@
+"""The PMPI interposition runtime: PPA + power mode control per process.
+
+This module glues the pieces exactly the way the paper's Figure 1 shows:
+intercept every MPI call; while no prediction holds, run the pattern
+prediction component (gram formation + PPA); once a pattern is declared,
+switch to the power-mode-control component, which verifies each gram
+against the prediction and issues turn-off instructions with programmed
+timers; on a pattern misprediction, relaunch the PPA.
+
+Following the paper's trace-driven methodology (Section IV-A), the
+runtime consumes the *baseline* timed event stream of one rank and emits
+:class:`~repro.sim.mpi.RankDirective` instrumentation — PMPI overheads
+per call plus shutdown directives attached to the MPI call after which
+the turn-off instruction executes.  The managed replay then applies the
+directives, and the reactivation penalties of both misprediction types
+emerge from the simulation itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..constants import T_REACT_US
+from ..power.states import WRPSParams
+from ..sim.mpi import RankDirective
+from ..trace.events import MPIEvent
+from .grams import GramBuilder
+from .overheads import OverheadModel, OverheadReport
+from .powerctl import GramCheck, PowerControlConfig, PowerModeMonitor, ShutdownPlan
+from .ppa import PPA, PPAConfig, PredictionDeclaration
+
+
+@dataclass(slots=True)
+class RuntimeStats:
+    """Per-rank bookkeeping the experiments aggregate."""
+
+    total_calls: int = 0
+    predicted_calls: int = 0
+    grams_total: int = 0
+    grams_matched: int = 0
+    pattern_mispredictions: int = 0
+    declarations: int = 0
+    fast_rearms: int = 0
+    shutdowns_planned: int = 0
+    ppa_invoked_calls: int = 0
+    ppa_operations: int = 0
+    ppa_overhead_us: float = 0.0
+    intercept_overhead_us: float = 0.0
+
+    @property
+    def hit_rate_pct(self) -> float:
+        """The Table III "MPI call hit rate": correctly predicted calls."""
+
+        if self.total_calls == 0:
+            return 0.0
+        return 100.0 * self.predicted_calls / self.total_calls
+
+    def overhead_report(self, model: OverheadModel) -> OverheadReport:
+        return OverheadReport.from_counts(
+            total_calls=self.total_calls,
+            invoked_calls=self.ppa_invoked_calls,
+            ppa_overhead_us=self.ppa_overhead_us,
+            intercept_us=model.intercept_us,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimeConfig:
+    """Per-run configuration of the mechanism."""
+
+    gt_us: float
+    displacement: float = 0.01
+    wrps: WRPSParams = field(default_factory=WRPSParams.paper)
+    ppa: PPAConfig = field(default_factory=PPAConfig)
+    overheads: OverheadModel = field(default_factory=OverheadModel)
+    #: include PMPI overheads in the emitted directives (the paper does;
+    #: disable for the oracle/no-overhead ablation)
+    charge_overheads: bool = True
+
+
+class PMPIRuntime:
+    """The mechanism for one MPI process."""
+
+    def __init__(self, config: RuntimeConfig) -> None:
+        self.config = config
+        self.builder = GramBuilder(config.gt_us)
+        self.ppa = PPA(config.ppa)
+        self.monitor: PowerModeMonitor | None = None
+        self.stats = RuntimeStats()
+        self.directives: dict[int, RankDirective] = {}
+        self._pcc = PowerControlConfig(
+            displacement=config.displacement,
+            gt_us=config.gt_us,
+            t_react_us=config.wrps.t_react_us,
+            t_deact_us=config.wrps.t_deact_us,
+        )
+        self._gram_count = 0
+        self._last_exit_us: float | None = None
+
+    # --------------------------------------------------------------- process
+
+    @property
+    def predicting(self) -> bool:
+        return self.monitor is not None
+
+    def process_stream(self, events: Sequence[MPIEvent]) -> dict[int, RankDirective]:
+        """Run the mechanism over one rank's timed event stream."""
+
+        for index, event in enumerate(events):
+            self.on_event(index, event)
+        self.finish()
+        return self.directives
+
+    def on_event(self, index: int, event: MPIEvent) -> None:
+        """Handle one intercepted MPI call."""
+
+        cfg = self.config
+        stats = self.stats
+        stats.total_calls += 1
+        pre = cfg.overheads.intercept_us if cfg.charge_overheads else 0.0
+        stats.intercept_overhead_us += pre
+        post = 0.0
+        shutdown: ShutdownPlan | None = None
+
+        gap: float | None = None
+        if self._last_exit_us is not None:
+            gap = event.enter_us - self._last_exit_us
+        self._last_exit_us = event.exit_us
+
+        # gram formation happens once per event regardless of mode; the
+        # builder's >= GT rule is the same condition the monitor uses to
+        # recognise a boundary, so the two stay consistent by design
+        closed = self.builder.feed(event)
+        if closed is not None:
+            self._gram_count += 1
+            stats.grams_total += 1
+
+        if self.monitor is not None:
+            if closed is not None:
+                self.ppa.append_only(closed)
+            shutdown = self._predict_step(event, gap)
+        else:
+            post = self._learn_step(closed)
+
+        if pre > 0 or post > 0 or shutdown is not None:
+            self._attach(index, pre=pre, post=post)
+            if shutdown is not None:
+                self._attach(index, timer=shutdown.timer_us)
+
+    def finish(self) -> None:
+        """Flush the trailing gram at end of stream (learning mode only)."""
+
+        closed = self.builder.flush()
+        if closed is not None:
+            self._gram_count += 1
+            self.stats.grams_total += 1
+            if self.monitor is None:
+                self.ppa.append_only(closed)
+
+    # -------------------------------------------------------------- learning
+
+    def _learn_step(self, closed) -> float:
+        """Run the PPA on a freshly closed gram (if any).
+
+        Returns the PPA overhead to charge on this call.
+        """
+
+        ops_before = self.ppa.operations
+        declaration: PredictionDeclaration | None = None
+        if closed is not None:
+            declaration = self.ppa.add_gram(closed)
+        ops = self.ppa.operations - ops_before
+        overhead = 0.0
+        if ops > 0:
+            self.stats.ppa_invoked_calls += 1
+            self.stats.ppa_operations += ops
+            overhead = (
+                self.config.overheads.ppa_cost_us(ops)
+                if self.config.charge_overheads
+                else 0.0
+            )
+            self.stats.ppa_overhead_us += overhead
+        if declaration is not None:
+            self._activate(declaration)
+        return overhead
+
+    def _activate(self, declaration: PredictionDeclaration) -> None:
+        """Switch to the power-mode-control component.
+
+        The anchor gram is the one currently open in the builder; any of
+        its calls that already arrived are replayed into the monitor so
+        the cycle position is exact.  If the open prefix already deviates
+        from the pattern, the activation is abandoned (stay learning).
+        """
+
+        monitor = PowerModeMonitor(declaration.record, self._pcc)
+        for call_id in self.builder.open_calls:
+            if monitor.feed_call(call_id) is GramCheck.MISMATCH:
+                return
+        self.stats.declarations += 1
+        if declaration.fast_rearm:
+            self.stats.fast_rearms += 1
+        self.monitor = monitor
+
+    # ------------------------------------------------------------ predicting
+
+    def _predict_step(
+        self, event: MPIEvent, gap: float | None
+    ) -> ShutdownPlan | None:
+        """Power-mode-control component for one call."""
+
+        monitor = self.monitor
+        assert monitor is not None
+
+        if gap is not None and gap >= self.config.gt_us:
+            if not monitor.begin_new_gram(gap):
+                self._mispredict()
+                return None
+        check = monitor.feed_call(int(event.call))
+        if check is GramCheck.MISMATCH:
+            self._mispredict()
+            return None
+        if check is GramCheck.MATCH_COMPLETE:
+            self.stats.grams_matched += 1
+            self.stats.predicted_calls += len(
+                monitor.record.key[(monitor.cycle_pos - 1) % monitor.record.size]
+            )
+            plan = monitor.plan_shutdown()
+            if plan is not None:
+                self.stats.shutdowns_planned += 1
+            return plan
+        return None
+
+    def _mispredict(self) -> None:
+        """Pattern misprediction: relaunch the pattern prediction part."""
+
+        self.stats.pattern_mispredictions += 1
+        self.monitor = None
+        # resume scanning with the grams that close from here on; history
+        # stays in the pattern list so detected patterns can fast re-arm
+        self.ppa.relaunch(len(self.ppa.grams))
+
+    # ---------------------------------------------------------------- output
+
+    def _attach(
+        self,
+        index: int,
+        pre: float = 0.0,
+        post: float = 0.0,
+        timer: float | None = None,
+    ) -> None:
+        d = self.directives.get(index)
+        if d is None:
+            d = RankDirective()
+            self.directives[index] = d
+        d.pre_overhead_us += pre
+        d.post_overhead_us += post
+        if timer is not None:
+            d.shutdown_timer_us = timer
+
+
+def plan_trace_directives(
+    event_logs: Sequence[Sequence[MPIEvent]],
+    config: RuntimeConfig | Sequence[RuntimeConfig],
+) -> tuple[list[dict[int, RankDirective]], list[RuntimeStats]]:
+    """Run the mechanism on every rank's baseline stream.
+
+    ``config`` may be shared or per-rank (the paper uses one GT per
+    application/size, i.e. shared).  Returns per-rank directives and
+    statistics, ready for :func:`repro.sim.dimemas.replay_managed`.
+    """
+
+    if isinstance(config, RuntimeConfig):
+        configs: list[RuntimeConfig] = [config] * len(event_logs)
+    else:
+        configs = list(config)
+        if len(configs) != len(event_logs):
+            raise ValueError(
+                f"need one config per rank: {len(configs)} != {len(event_logs)}"
+            )
+    directives: list[dict[int, RankDirective]] = []
+    stats: list[RuntimeStats] = []
+    for events, cfg in zip(event_logs, configs):
+        runtime = PMPIRuntime(cfg)
+        directives.append(runtime.process_stream(list(events)))
+        stats.append(runtime.stats)
+    return directives, stats

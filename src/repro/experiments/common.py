@@ -1,0 +1,182 @@
+"""Shared experiment pipeline: trace -> baseline -> GT -> managed runs.
+
+Every table and figure driver goes through :func:`run_cell`, which
+executes the paper's full methodology for one (application, process
+count) cell:
+
+1. generate the synthetic trace;
+2. baseline replay (always-on links) -> original execution time and the
+   per-rank timed MPI event streams;
+3. GT selection on the event streams (Section IV-C);
+4. the PMPI runtime pass -> per-rank directives (PPA overheads +
+   shutdown instructions);
+5. one managed replay per displacement factor.
+
+Results are memoised per cell so that Figs. 7, 8 and 9 (three
+displacement factors over the same grid) share baselines and GT
+selection.  ``REPRO_ITERATIONS`` scales the trace length globally (the
+default keeps the full grid affordable on a laptop).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..constants import (
+    DISPLACEMENT_FACTORS,
+    LINK_BANDWIDTH_BYTES_PER_US,
+    MPI_LATENCY_US,
+    SEGMENT_SIZE_BYTES,
+    T_REACT_US,
+)
+from ..core import (
+    GTEvaluation,
+    RuntimeConfig,
+    RuntimeStats,
+    plan_trace_directives,
+    select_gt,
+)
+from ..power.states import WRPSParams
+from ..sim import BaselineResult, ManagedResult, ReplayConfig, replay_baseline, replay_managed
+from ..workloads import PROCESS_COUNTS, make_trace
+
+
+def default_iterations() -> int:
+    """Trace length used by the experiment drivers (env-overridable)."""
+
+    return int(os.environ.get("REPRO_ITERATIONS", "40"))
+
+
+@dataclass(slots=True)
+class CellResult:
+    """Everything the tables/figures need for one (app, nranks) cell."""
+
+    app: str
+    nranks: int
+    iterations: int
+    seed: int
+    baseline: BaselineResult
+    gt: GTEvaluation
+    runtime_stats: list[RuntimeStats]
+    managed: dict[float, ManagedResult] = field(default_factory=dict)
+
+    @property
+    def gt_us(self) -> float:
+        return self.gt.gt_us
+
+    @property
+    def hit_rate_pct(self) -> float:
+        return self.gt.hit_rate_pct
+
+    def savings_pct(self, displacement: float) -> float:
+        return self.managed[displacement].power_savings_pct
+
+    def slowdown_pct(self, displacement: float) -> float:
+        return self.managed[displacement].exec_time_increase_pct
+
+
+_CACHE: dict[tuple, CellResult] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_cell(
+    app: str,
+    nranks: int,
+    *,
+    displacements: Sequence[float] = DISPLACEMENT_FACTORS,
+    iterations: int | None = None,
+    seed: int = 1234,
+    scaling: str = "strong",
+    wrps: WRPSParams | None = None,
+    charge_overheads: bool = True,
+    use_cache: bool = True,
+) -> CellResult:
+    """Run the full pipeline for one cell (memoised)."""
+
+    iters = iterations if iterations is not None else default_iterations()
+    params = wrps or WRPSParams.paper()
+    key = (
+        app, nranks, iters, seed, scaling,
+        params.low_power_fraction, params.t_react_us, charge_overheads,
+    )
+    cell = _CACHE.get(key) if use_cache else None
+    if cell is None:
+        trace = make_trace(app, nranks, iterations=iters, seed=seed, scaling=scaling)
+        baseline = replay_baseline(trace, ReplayConfig(seed=seed))
+        gt = select_gt(baseline.event_logs)
+        cell = CellResult(
+            app=app,
+            nranks=nranks,
+            iterations=iters,
+            seed=seed,
+            baseline=baseline,
+            gt=gt,
+            runtime_stats=[],
+        )
+        if use_cache:
+            _CACHE[key] = cell
+    else:
+        trace = None
+
+    missing = [d for d in displacements if d not in cell.managed]
+    if missing:
+        if trace is None:
+            trace = make_trace(
+                app, nranks, iterations=iters, seed=seed, scaling=scaling
+            )
+        # a custom WRPS (e.g. deep sleep) may raise the break-even above
+        # the hit-rate-optimal GT; the mechanism requires GT >= 2*T_react
+        gt_us = max(cell.gt_us, params.min_worthwhile_idle_us)
+        for disp in missing:
+            cfg = RuntimeConfig(
+                gt_us=gt_us,
+                displacement=disp,
+                wrps=params,
+                charge_overheads=charge_overheads,
+            )
+            directives, stats = plan_trace_directives(
+                cell.baseline.event_logs, cfg
+            )
+            managed = replay_managed(
+                trace,
+                directives,
+                baseline_exec_time_us=cell.baseline.exec_time_us,
+                displacement=disp,
+                grouping_thresholds_us=[gt_us] * nranks,
+                config=ReplayConfig(seed=seed),
+                wrps=params,
+                runtime_stats=stats,
+            )
+            cell.managed[disp] = managed
+            if not cell.runtime_stats:
+                cell.runtime_stats = stats
+    return cell
+
+
+def paper_grid(app: str) -> tuple[int, ...]:
+    """The paper's process counts for ``app`` (BT uses squares)."""
+
+    return PROCESS_COUNTS[app]
+
+
+def table2_parameters() -> dict[str, str]:
+    """The simulator configuration of the paper's Table II, as realised
+    by this reproduction (constants actually used by the code)."""
+
+    return {
+        "Simulator": "repro.sim (Dimemas/Venus-style co-simulation)",
+        "Connectivity": "XGFT(2;18,14;1,18) (right-sized per run)",
+        "Topologies": "Extended Generalized Fat Trees",
+        "Switch technology": "InfiniBand (4X QDR, WRPS lane shutdown)",
+        "Network Bandwidth": f"{LINK_BANDWIDTH_BYTES_PER_US * 8 / 1000:.0f} Gbit/s",
+        "Segment Size": f"{SEGMENT_SIZE_BYTES // 1024} KB",
+        "MPI latency": f"{MPI_LATENCY_US:.0f} us",
+        "CPU Speedup": "1",
+        "Routing scheme": "Random routing",
+        "T_react": f"{T_REACT_US:.0f} us",
+    }

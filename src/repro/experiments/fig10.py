@@ -1,0 +1,70 @@
+"""Figure 10 — correctly-predicted MPI calls vs grouping threshold.
+
+The paper plots the hit-rate curve over GT in [20, 400] us for GROMACS
+at 64 and 128 processes, showing why GT must be tuned per run: curves
+are non-monotone, with plateaus where gram formation is stable and
+cliffs where jittery gaps flip gram membership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core import GTEvaluation, default_gt_candidates, gt_sweep
+from .common import run_cell
+
+
+@dataclass(frozen=True, slots=True)
+class Fig10Curve:
+    app: str
+    nranks: int
+    points: tuple[GTEvaluation, ...]
+
+    @property
+    def best(self) -> GTEvaluation:
+        best = self.points[0]
+        for p in self.points[1:]:
+            if p.hit_rate_pct > best.hit_rate_pct + 1e-9:
+                best = p
+        return best
+
+
+def run_fig10(
+    app: str = "gromacs",
+    sizes: Sequence[int] = (64, 128),
+    *,
+    candidates: Sequence[float] | None = None,
+    iterations: int | None = None,
+    seed: int = 1234,
+    max_ranks: int = 4,
+) -> list[Fig10Curve]:
+    curves: list[Fig10Curve] = []
+    values = list(candidates) if candidates is not None else default_gt_candidates()
+    for nranks in sizes:
+        cell = run_cell(
+            app, nranks, displacements=(), iterations=iterations, seed=seed
+        )
+        sweep = gt_sweep(
+            cell.baseline.event_logs, values, max_ranks=max_ranks
+        )
+        curves.append(Fig10Curve(app=app, nranks=nranks, points=tuple(sweep)))
+    return curves
+
+
+def format_fig10(curves: Sequence[Fig10Curve], *, width: int = 48) -> str:
+    """ASCII rendering of the Fig. 10 curves."""
+
+    out: list[str] = []
+    for curve in curves:
+        out.append(
+            f"{curve.app} @ {curve.nranks} procs "
+            f"(best GT={curve.best.gt_us:.0f} us, "
+            f"hit={curve.best.hit_rate_pct:.1f}%)"
+        )
+        peak = max(p.hit_rate_pct for p in curve.points) or 1.0
+        for p in curve.points:
+            bar = "#" * int(round(width * p.hit_rate_pct / peak))
+            out.append(f"  GT={p.gt_us:6.0f}us {p.hit_rate_pct:6.1f}% |{bar}")
+        out.append("")
+    return "\n".join(out)

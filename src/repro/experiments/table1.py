@@ -1,0 +1,86 @@
+"""Table I — distribution of link idle intervals.
+
+For every application and process count, buckets the per-rank
+inter-communication intervals (from the baseline replay) into the
+paper's three classes and reports, per bucket, the interval count, the
+share of intervals and the share of accumulated idle time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..trace.intervals import IdleDistribution
+from ..workloads import DISPLAY_NAMES
+from .common import CellResult, paper_grid, run_cell
+
+
+@dataclass(frozen=True, slots=True)
+class Table1Row:
+    app: str
+    nranks: int
+    distribution: IdleDistribution
+
+    def cells(self) -> tuple:
+        d = self.distribution
+        return (
+            self.app,
+            self.nranks,
+            d.short.count, d.short.interval_share_pct, d.short.time_share_pct,
+            d.medium.count, d.medium.interval_share_pct, d.medium.time_share_pct,
+            d.long.count, d.long.interval_share_pct, d.long.time_share_pct,
+        )
+
+
+def build_row(cell: CellResult) -> Table1Row:
+    return Table1Row(
+        app=cell.app,
+        nranks=cell.nranks,
+        distribution=cell.baseline.idle_distribution(),
+    )
+
+
+def run_table1(
+    apps: Sequence[str] | None = None,
+    *,
+    iterations: int | None = None,
+    seed: int = 1234,
+) -> list[Table1Row]:
+    """All Table I rows (5 apps x 5 sizes by default)."""
+
+    from ..workloads import APPLICATIONS
+
+    rows: list[Table1Row] = []
+    for app in apps or APPLICATIONS:
+        for nranks in paper_grid(app):
+            cell = run_cell(
+                app, nranks, displacements=(), iterations=iterations, seed=seed
+            )
+            rows.append(build_row(cell))
+    return rows
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render in the paper's Table I layout."""
+
+    header = (
+        f"{'App':8s} {'N':>4s} | {'<20us':>22s} | {'20-200us':>22s} | "
+        f"{'>200us':>22s}\n"
+        f"{'':8s} {'':>4s} | {'N':>7s} {'int%':>6s} {'time%':>7s} |"
+        f" {'N':>7s} {'int%':>6s} {'time%':>7s} |"
+        f" {'N':>7s} {'int%':>6s} {'time%':>7s}"
+    )
+    lines = [header, "-" * len(header.splitlines()[1])]
+    for row in rows:
+        d = row.distribution
+        lines.append(
+            f"{DISPLAY_NAMES.get(row.app, row.app):8s} {row.nranks:>4d} | "
+            f"{d.short.count:>7d} {d.short.interval_share_pct:>6.2f} "
+            f"{d.short.time_share_pct:>7.3f} | "
+            f"{d.medium.count:>7d} {d.medium.interval_share_pct:>6.2f} "
+            f"{d.medium.time_share_pct:>7.3f} | "
+            f"{d.long.count:>7d} {d.long.interval_share_pct:>6.2f} "
+            f"{d.long.time_share_pct:>7.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Table III — chosen grouping threshold and MPI-call hit rate.
+
+For every application and process count, sweeps GT candidates over the
+baseline event streams and reports the selected GT (maximum hit rate,
+smaller GT preferred) together with the hit rate it achieves — the
+paper's Table III columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..workloads import APPLICATIONS, DISPLAY_NAMES
+from .common import CellResult, paper_grid, run_cell
+
+
+@dataclass(frozen=True, slots=True)
+class Table3Row:
+    app: str
+    nranks: int
+    gt_us: float
+    hit_rate_pct: float
+
+
+def build_row(cell: CellResult) -> Table3Row:
+    return Table3Row(
+        app=cell.app,
+        nranks=cell.nranks,
+        gt_us=cell.gt_us,
+        hit_rate_pct=cell.hit_rate_pct,
+    )
+
+
+def run_table3(
+    apps: Sequence[str] | None = None,
+    *,
+    iterations: int | None = None,
+    seed: int = 1234,
+) -> list[Table3Row]:
+    rows: list[Table3Row] = []
+    for app in apps or APPLICATIONS:
+        for nranks in paper_grid(app):
+            cell = run_cell(
+                app, nranks, displacements=(), iterations=iterations, seed=seed
+            )
+            rows.append(build_row(cell))
+    return rows
+
+
+def format_table3(rows: Sequence[Table3Row]) -> str:
+    header = f"{'App':8s} {'N proc':>6s} {'GT [us]':>9s} {'hit rate [%]':>13s}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{DISPLAY_NAMES.get(row.app, row.app):8s} {row.nranks:>6d} "
+            f"{row.gt_us:>9.0f} {row.hit_rate_pct:>13.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Table IV — PPA overheads when run with 16 MPI processes.
+
+Reports, per application (averaged over ranks as in the paper):
+
+* the share of MPI calls on which the PPA actually runs (it is disabled
+  during prediction phases);
+* the mean overhead charged on those calls;
+* the overhead amortised over all calls (interception included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core import OverheadModel
+from ..workloads import APPLICATIONS, DISPLAY_NAMES
+from .common import run_cell
+
+
+@dataclass(frozen=True, slots=True)
+class Table4Row:
+    app: str
+    ppa_call_fraction_pct: float
+    per_invoked_call_us: float
+    per_all_calls_us: float
+
+
+def run_table4(
+    apps: Sequence[str] | None = None,
+    *,
+    nranks: int = 16,
+    displacement: float = 0.01,
+    iterations: int | None = None,
+    seed: int = 1234,
+    overheads: OverheadModel | None = None,
+) -> list[Table4Row]:
+    model = overheads or OverheadModel()
+    rows: list[Table4Row] = []
+    for app in apps or APPLICATIONS:
+        cell = run_cell(
+            app, nranks, displacements=(displacement,),
+            iterations=iterations, seed=seed,
+        )
+        reports = [s.overhead_report(model) for s in cell.runtime_stats]
+        n = len(reports)
+        rows.append(
+            Table4Row(
+                app=app,
+                ppa_call_fraction_pct=sum(r.ppa_call_fraction_pct for r in reports) / n,
+                per_invoked_call_us=sum(r.per_invoked_call_us for r in reports) / n,
+                per_all_calls_us=sum(r.per_all_calls_us for r in reports) / n,
+            )
+        )
+    return rows
+
+
+def average_row(rows: Sequence[Table4Row]) -> Table4Row:
+    n = len(rows)
+    return Table4Row(
+        app="Average",
+        ppa_call_fraction_pct=sum(r.ppa_call_fraction_pct for r in rows) / n,
+        per_invoked_call_us=sum(r.per_invoked_call_us for r in rows) / n,
+        per_all_calls_us=sum(r.per_all_calls_us for r in rows) / n,
+    )
+
+
+def format_table4(rows: Sequence[Table4Row]) -> str:
+    header = (
+        f"{'App':10s} {'calls w/ PPA [%]':>17s} "
+        f"{'per PPA call [us]':>18s} {'per all calls [us]':>19s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in list(rows) + [average_row(rows)]:
+        lines.append(
+            f"{DISPLAY_NAMES.get(row.app, row.app):10s} "
+            f"{row.ppa_call_fraction_pct:>17.1f} "
+            f"{row.per_invoked_call_us:>18.1f} "
+            f"{row.per_all_calls_us:>19.2f}"
+        )
+    return "\n".join(lines)

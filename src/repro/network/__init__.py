@@ -1,0 +1,52 @@
+"""Network substrate: XGFT topologies, IB links/lanes, routing, fabric.
+
+This package plays the Venus role of the paper's co-simulation: a
+two-level extended generalized fat tree of InfiniBand switches with 4X
+QDR links (40 Gb/s), 2 KB segments and random routing (Table II), plus
+the WRPS lane-width power machinery the mechanism controls.
+"""
+
+from .fabric import Fabric, TransferTiming
+from .links import DirectedChannel, Link, LinkPowerMode
+from .routing import (
+    DeterministicRouter,
+    RandomRouter,
+    Router,
+    hop_count,
+    host_subtree,
+    lca_height,
+    path_links,
+    switch_subtree,
+)
+from .switches import Switch
+from .topology import (
+    NodeId,
+    Topology,
+    XGFTSpec,
+    build_xgft,
+    fitted_topology,
+    paper_topology,
+)
+
+__all__ = [
+    "Fabric",
+    "TransferTiming",
+    "DirectedChannel",
+    "Link",
+    "LinkPowerMode",
+    "DeterministicRouter",
+    "RandomRouter",
+    "Router",
+    "hop_count",
+    "host_subtree",
+    "lca_height",
+    "path_links",
+    "switch_subtree",
+    "Switch",
+    "NodeId",
+    "Topology",
+    "XGFTSpec",
+    "build_xgft",
+    "fitted_topology",
+    "paper_topology",
+]

@@ -1,0 +1,248 @@
+"""The fabric: topology + links + switches + routing, with transfer timing.
+
+This is the Venus role in the paper's Dimemas+Venus co-simulation: given a
+message (src host, dst host, size), the fabric computes when its last byte
+arrives, reserving every directed channel along the route so contention is
+honoured, and recording busy intervals for idle/power analysis.
+
+Timing model (virtual cut-through with segment pipelining, Table II):
+
+* the path latency is ``MPI_LATENCY_US + hops * SWITCH_HOP_LATENCY_US``;
+* each directed channel serialises the full message at link bandwidth and
+  is busy for that long; the head segment advances to the next hop after
+  one segment serialisation time, so the end-to-end duration of an
+  uncongested transfer is ``latency + (hops-1)*t_seg + size/bw``;
+* a channel already busy delays the transfer (per-link FIFO reservation).
+
+Power interaction: if any link on the path is not at full width when the
+transfer wants to start, the transfer waits for that link's reactivation
+(the paper's misprediction penalty — the one remaining lane keeps
+connectivity, but the design waits for full width rather than crawling at
+1X, matching the paper's accounting of reactivation delays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..constants import (
+    MPI_LATENCY_US,
+    SEGMENT_SIZE_BYTES,
+    SWITCH_HOP_LATENCY_US,
+)
+from .links import DirectedChannel, Link, LinkPowerMode
+from .routing import RandomRouter, Router, path_links
+from .switches import Switch
+from .topology import NodeId, Topology, build_xgft, fitted_topology
+
+
+def _edge_key(a: NodeId, b: NodeId) -> tuple[NodeId, NodeId]:
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True, slots=True)
+class TransferTiming:
+    """Outcome of pushing one message through the fabric."""
+
+    depart_us: float        # when the first byte leaves the source HCA
+    arrive_us: float        # when the last byte reaches the destination
+    wire_us: float          # arrive - depart (queueing + wire time)
+    power_wait_us: float    # time spent waiting for lane reactivation
+    hops: int
+    #: when the source HCA channel has drained the message — the moment a
+    #: blocking sender's buffer is reusable and the call can return
+    src_release_us: float = 0.0
+
+    @property
+    def total_us(self) -> float:
+        return self.arrive_us - self.depart_us
+
+
+@dataclass
+class Fabric:
+    """A routed, power-state-aware IB network."""
+
+    topo: Topology
+    router: Router
+    mpi_latency_us: float = MPI_LATENCY_US
+    hop_latency_us: float = SWITCH_HOP_LATENCY_US
+    segment_bytes: int = SEGMENT_SIZE_BYTES
+    links: dict[tuple[NodeId, NodeId], Link] = field(default_factory=dict)
+    switches: dict[NodeId, Switch] = field(default_factory=dict)
+    messages_sent: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            for a, b in self.topo.edges:
+                self.links[_edge_key(a, b)] = Link(*_edge_key(a, b))
+        if not self.switches:
+            for node in self.topo.switches:
+                self.switches[node] = Switch(node, hop_latency_us=self.hop_latency_us)
+            for link in self.links.values():
+                for end in link.endpoints:
+                    if not end.is_host:
+                        self.switches[end].attach(link)
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def for_ranks(
+        cls,
+        nranks: int,
+        *,
+        seed: int = 0,
+        hosts_per_leaf: int = 18,
+        random_routing: bool = True,
+    ) -> "Fabric":
+        """A right-sized two-level paper-style fabric for ``nranks`` hosts."""
+
+        topo = fitted_topology(nranks, hosts_per_leaf=hosts_per_leaf)
+        router: Router
+        if random_routing:
+            router = RandomRouter.seeded(topo, seed)
+        else:
+            from .routing import DeterministicRouter
+
+            router = DeterministicRouter(topo)
+        return cls(topo=topo, router=router)
+
+    # -- link access --------------------------------------------------------
+
+    def link_between(self, a: NodeId, b: NodeId) -> Link:
+        return self.links[_edge_key(a, b)]
+
+    def host_link(self, host_index: int) -> Link:
+        """The HCA link of host ``host_index`` (hosts have one uplink)."""
+
+        host = self.topo.host(host_index)
+        (up,) = self.topo.up_neighbors(host)
+        return self.link_between(host, up)
+
+    def host_links(self) -> list[Link]:
+        return [self.host_link(i) for i in range(self.topo.num_hosts)]
+
+    def trunk_links(self) -> list[Link]:
+        return [l for l in self.links.values() if not l.is_host_link]
+
+    def all_links(self) -> list[Link]:
+        return list(self.links.values())
+
+    # -- transfer timing -----------------------------------------------------
+
+    def segment_time_us(self, channel: DirectedChannel) -> float:
+        return self.segment_bytes / channel.bandwidth_bytes_per_us
+
+    def transfer(
+        self,
+        src_host: int,
+        dst_host: int,
+        size_bytes: int,
+        earliest_us: float,
+        *,
+        on_power_block=None,
+    ) -> TransferTiming:
+        """Send ``size_bytes`` from ``src_host`` to ``dst_host``.
+
+        ``earliest_us`` is when the payload is ready at the source.
+        ``on_power_block(link, now) -> ready_us`` is invoked for each link
+        on the path that is not at full width; it must initiate (or join)
+        a reactivation and return when the link is usable.  Without a
+        callback, links are assumed always-on (the baseline run).
+
+        Returns the transfer timing; the overlapping busy intervals are
+        recorded on every traversed channel.
+        """
+
+        if size_bytes < 0:
+            raise ValueError("negative message size")
+        self.messages_sent += 1
+        if src_host == dst_host:
+            # loopback: no network involvement, only the software latency
+            arrive = earliest_us + self.mpi_latency_us
+            return TransferTiming(
+                earliest_us, arrive, self.mpi_latency_us, 0.0, 0, arrive
+            )
+
+        path = self.router.route(src_host, dst_host)
+        hops = len(path) - 1
+        size = max(1, size_bytes)
+
+        # software injection latency happens before the wire
+        head_ready = earliest_us + self.mpi_latency_us
+        power_wait = 0.0
+        depart = None
+        src_release = None
+        for tail, head in path_links(path):
+            link = self.link_between(tail, head)
+            if link.mode is not LinkPowerMode.FULL:
+                if on_power_block is not None:
+                    usable = on_power_block(link, head_ready)
+                else:
+                    usable = link.ready_time(head_ready)
+                if usable > head_ready:
+                    power_wait += usable - head_ready
+                    head_ready = usable
+            channel = link.channel(tail)
+            start, end = channel.reserve(head_ready, size)
+            if depart is None:
+                depart = start
+                src_release = end
+            if not head.is_host:
+                self.switches[head].record_forward(size)
+            # head of the message reaches the next hop after one segment
+            # plus the switch traversal latency
+            head_ready = (
+                start
+                + min(self.segment_time_us(channel), size / channel.bandwidth_bytes_per_us)
+                + self.hop_latency_us
+            )
+
+        assert depart is not None and src_release is not None
+        last_tail, last_head = path[-2], path[-1]
+        last_channel = self.link_between(last_tail, last_head).channel(last_tail)
+        # the last byte arrives when the final channel finishes serialising
+        arrive = last_channel.next_free_us
+        return TransferTiming(
+            depart_us=depart,
+            arrive_us=arrive,
+            wire_us=arrive - depart,
+            power_wait_us=power_wait,
+            hops=hops,
+            src_release_us=src_release,
+        )
+
+    # -- analysis ------------------------------------------------------------
+
+    def host_link_busy_logs(self) -> dict[int, list[tuple[float, float]]]:
+        """Merged (both directions) busy intervals per HCA link."""
+
+        out: dict[int, list[tuple[float, float]]] = {}
+        for i in range(self.topo.num_hosts):
+            link = self.host_link(i)
+            merged = sorted(link.forward.busy_log + link.backward.busy_log)
+            out[i] = merged
+        return out
+
+    def total_bytes_carried(self) -> int:
+        return sum(
+            l.forward.bytes_carried + l.backward.bytes_carried
+            for l in self.links.values()
+        )
+
+    def switch_traffic(self) -> dict[NodeId, tuple[int, int]]:
+        """Per-switch (messages forwarded, bytes switched)."""
+
+        return {
+            node: (sw.messages_forwarded, sw.bytes_switched)
+            for node, sw in self.switches.items()
+        }
+
+    def reset(self) -> None:
+        for link in self.links.values():
+            link.reset()
+        for sw in self.switches.values():
+            sw.reset()
+        self.messages_sent = 0

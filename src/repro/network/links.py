@@ -1,0 +1,156 @@
+"""Link and lane model: 4X InfiniBand links with WRPS width reduction.
+
+A physical IB 4X link bundles four lanes.  Mellanox's Width Reduction
+Power Saving (WRPS) can shut down three of the four lanes, leaving a 1X
+link that preserves connectivity at a quarter of the bandwidth and 43 %
+of the power (paper Section II-A).
+
+Each :class:`Link` is full duplex: two :class:`DirectedChannel` objects
+carry traffic independently (IB lanes are unidirectional pairs), but the
+**power state is per link** — WRPS reduces the width of the whole port.
+
+The busy timeline of each directed channel is recorded so that idle
+intervals (Table I) and contention can be derived after a simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..constants import (
+    LINK_BANDWIDTH_BYTES_PER_US,
+    LOW_POWER_BANDWIDTH_BYTES_PER_US,
+    T_REACT_US,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .topology import NodeId
+
+
+class LinkPowerMode(enum.Enum):
+    """Operating mode of a 4X link under WRPS management."""
+
+    FULL = "full"            # all 4 lanes active
+    LOW = "low"              # 1 lane active (WRPS)
+    TRANSITION = "transition"  # lanes powering up/down
+
+
+@dataclass(slots=True)
+class DirectedChannel:
+    """One direction of a link: serialisation point with a busy log."""
+
+    name: str
+    bandwidth_bytes_per_us: float = LINK_BANDWIDTH_BYTES_PER_US
+    next_free_us: float = 0.0
+    busy_log: list[tuple[float, float]] = field(default_factory=list)
+    bytes_carried: int = 0
+
+    def serialization_time(self, size_bytes: int) -> float:
+        return size_bytes / self.bandwidth_bytes_per_us
+
+    def reserve(self, earliest_us: float, size_bytes: int) -> tuple[float, float]:
+        """Claim the channel for one transfer.
+
+        Returns ``(start, end)``: the transfer begins at
+        ``max(earliest, next_free)`` and occupies the wire for the
+        serialisation time of ``size_bytes``.
+        """
+
+        start = max(earliest_us, self.next_free_us)
+        end = start + self.serialization_time(size_bytes)
+        self.next_free_us = end
+        self.bytes_carried += size_bytes
+        if self.busy_log and abs(self.busy_log[-1][1] - start) < 1e-12:
+            s0, _ = self.busy_log[-1]
+            self.busy_log[-1] = (s0, end)
+        else:
+            self.busy_log.append((start, end))
+        return start, end
+
+    def utilization(self, t_end_us: float) -> float:
+        if t_end_us <= 0:
+            return 0.0
+        busy = sum(e - s for s, e in self.busy_log)
+        return min(1.0, busy / t_end_us)
+
+    def reset(self) -> None:
+        self.next_free_us = 0.0
+        self.busy_log.clear()
+        self.bytes_carried = 0
+
+
+@dataclass(slots=True)
+class Link:
+    """A full-duplex 4X IB cable between two topology vertices.
+
+    The two directed channels are named after their head vertex.  Power
+    management state lives here; the actual FULL/LOW residency timeline is
+    maintained by :class:`repro.power.model.LinkEnergyAccount` so that the
+    fabric stays power-model-agnostic.
+    """
+
+    a: "NodeId"
+    b: "NodeId"
+    t_react_us: float = T_REACT_US
+    mode: LinkPowerMode = LinkPowerMode.FULL
+    reactivation_done_us: float = 0.0
+    forward: DirectedChannel = field(init=False)   # a -> b
+    backward: DirectedChannel = field(init=False)  # b -> a
+
+    def __post_init__(self) -> None:
+        self.forward = DirectedChannel(f"{self.a}->{self.b}")
+        self.backward = DirectedChannel(f"{self.b}->{self.a}")
+
+    @property
+    def endpoints(self) -> tuple["NodeId", "NodeId"]:
+        return (self.a, self.b)
+
+    def channel(self, tail: "NodeId") -> DirectedChannel:
+        """The directed channel whose transmitter sits at ``tail``."""
+
+        if tail == self.a:
+            return self.forward
+        if tail == self.b:
+            return self.backward
+        raise KeyError(f"{tail} is not an endpoint of link {self.a}-{self.b}")
+
+    @property
+    def is_host_link(self) -> bool:
+        return self.a.is_host or self.b.is_host
+
+    @property
+    def host_index(self) -> int | None:
+        """The host attached to this link, if it is an HCA link."""
+
+        if self.a.is_host:
+            return self.a.index
+        if self.b.is_host:
+            return self.b.index
+        return None
+
+    # -- power-mode bookkeeping used by the power controller ---------------
+
+    def ready_time(self, now_us: float) -> float:
+        """Earliest time the link is at full width, starting from ``now``.
+
+        In FULL mode that is ``now``.  In LOW mode a reactivation must run
+        (``now + t_react``); in TRANSITION the previously scheduled
+        reactivation completes at ``reactivation_done_us``.
+        """
+
+        if self.mode is LinkPowerMode.FULL:
+            return now_us
+        if self.mode is LinkPowerMode.TRANSITION:
+            return max(now_us, self.reactivation_done_us)
+        return now_us + self.t_react_us
+
+    def reset(self) -> None:
+        self.mode = LinkPowerMode.FULL
+        self.reactivation_done_us = 0.0
+        self.forward.reset()
+        self.backward.reset()
+
+    def low_power_bandwidth(self) -> float:
+        return LOW_POWER_BANDWIDTH_BYTES_PER_US

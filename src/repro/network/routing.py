@@ -1,0 +1,181 @@
+"""Routing over XGFT fat trees: random (paper default) and deterministic.
+
+Fat-tree routing is up*/down*: a packet climbs from the source host to a
+least common ancestor (LCA) switch, then descends to the destination.
+Structure of the XGFT makes this clean:
+
+* **ascent**: from any vertex that is a "top" of its height-(l-1) subtree,
+  every upward neighbour is a valid next hop — this is the only routing
+  freedom.  The paper uses **random routing** (Table II) at these choice
+  points; a d-mod-k-style deterministic router is provided for ablations.
+* **descent**: from a given ancestor the down path to a host is *unique*:
+  at each level exactly one down-neighbour lies in the child subtree that
+  contains the destination.
+
+Subtree membership is computed arithmetically from the construction used
+by :func:`repro.network.topology.build_xgft` (level slices are ordered by
+subtree), so no graph search is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from .topology import NodeId, Topology, XGFTSpec
+
+
+class Router(Protocol):
+    """Route computation strategy."""
+
+    def route(self, src_host: int, dst_host: int) -> list[NodeId]:
+        """Vertex path from host ``src`` to host ``dst`` (inclusive)."""
+        ...
+
+
+def _hosts_per_subtree(spec: XGFTSpec, height: int) -> int:
+    n = 1
+    for m in spec.children[:height]:
+        n *= m
+    return n
+
+
+def host_subtree(spec: XGFTSpec, host_index: int, height: int) -> int:
+    """Index of the height-``height`` subtree containing ``host_index``."""
+
+    if height == 0:
+        return host_index
+    return host_index // _hosts_per_subtree(spec, height)
+
+
+def switch_subtree(spec: XGFTSpec, node: NodeId, height: int) -> int:
+    """Index of the height-``height`` subtree containing switch ``node``.
+
+    Valid for ``height >= node.level`` (a switch belongs to exactly one
+    subtree at each height at or above its own level).
+    """
+
+    if node.level == 0:
+        return host_subtree(spec, node.index, height)
+    if height < node.level:
+        raise ValueError(
+            f"switch at level {node.level} has no height-{height} subtree"
+        )
+    num_subtrees = 1
+    for m in spec.children[height:]:
+        num_subtrees *= m
+    per_tree = spec.switches_at_level(node.level) // num_subtrees
+    return node.index // per_tree
+
+
+def lca_height(spec: XGFTSpec, src_host: int, dst_host: int) -> int:
+    """Smallest subtree height at which both hosts are in one subtree."""
+
+    for height in range(spec.height + 1):
+        if host_subtree(spec, src_host, height) == host_subtree(
+            spec, dst_host, height
+        ):
+            return height
+    raise ValueError(
+        f"hosts {src_host} and {dst_host} share no subtree "
+        f"(is one of them outside the fabric of {spec.num_hosts} hosts?)"
+    )
+
+
+def _descend(topo: Topology, ancestor: NodeId, dst_host: int) -> list[NodeId]:
+    """Unique down path from ``ancestor`` to host ``dst_host`` (exclusive
+    of the ancestor itself, inclusive of the host)."""
+
+    spec = topo.spec
+    path: list[NodeId] = []
+    current = ancestor
+    while current.level > 0:
+        want_height = current.level - 1
+        want_tree = host_subtree(spec, dst_host, want_height)
+        nxt: NodeId | None = None
+        for cand in topo.down_neighbors(current):
+            tree = (
+                host_subtree(spec, cand.index, want_height)
+                if cand.level == 0
+                else switch_subtree(spec, cand, want_height)
+            )
+            if tree == want_tree:
+                nxt = cand
+                break
+        if nxt is None:
+            raise ValueError(
+                f"descent stuck at {current} towards host {dst_host}"
+            )
+        path.append(nxt)
+        current = nxt
+    if current.index != dst_host:
+        raise AssertionError(
+            f"descent reached host {current.index}, wanted {dst_host}"
+        )
+    return path
+
+
+def _updown_route(
+    topo: Topology, src_host: int, dst_host: int, chooser
+) -> list[NodeId]:
+    """Shared up*/down* path builder; ``chooser`` resolves ascent choices."""
+
+    if src_host == dst_host:
+        return [topo.host(src_host)]
+    spec = topo.spec
+    turn = lca_height(spec, src_host, dst_host)
+    path: list[NodeId] = [topo.host(src_host)]
+    for _ in range(turn):
+        ups = topo.up_neighbors(path[-1])
+        if not ups:
+            raise ValueError(f"no upward neighbour at {path[-1]}")
+        path.append(chooser(ups) if len(ups) > 1 else ups[0])
+    path.extend(_descend(topo, path[-1], dst_host))
+    return path
+
+
+@dataclass
+class RandomRouter:
+    """Random up*/down* routing (the paper's Table II scheme)."""
+
+    topo: Topology
+    rng: np.random.Generator
+
+    @classmethod
+    def seeded(cls, topo: Topology, seed: int = 0) -> "RandomRouter":
+        return cls(topo, np.random.default_rng(seed))
+
+    def route(self, src_host: int, dst_host: int) -> list[NodeId]:
+        def chooser(candidates: Sequence[NodeId]) -> NodeId:
+            return candidates[int(self.rng.integers(len(candidates)))]
+
+        return _updown_route(self.topo, src_host, dst_host, chooser)
+
+
+@dataclass
+class DeterministicRouter:
+    """d-mod-k routing: ascent choice indexed by the destination host.
+
+    Deterministic and congestion-spreading; used by tests (stable paths)
+    and the routing ablation bench.
+    """
+
+    topo: Topology
+
+    def route(self, src_host: int, dst_host: int) -> list[NodeId]:
+        def chooser(candidates: Sequence[NodeId]) -> NodeId:
+            return candidates[dst_host % len(candidates)]
+
+        return _updown_route(self.topo, src_host, dst_host, chooser)
+
+
+def path_links(path: Sequence[NodeId]) -> list[tuple[NodeId, NodeId]]:
+    """Directed (tail, head) pairs along a vertex path."""
+
+    return list(zip(path, path[1:]))
+
+
+def hop_count(path: Sequence[NodeId]) -> int:
+    return max(0, len(path) - 1)

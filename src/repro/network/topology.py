@@ -1,0 +1,261 @@
+"""Extended Generalized Fat Tree (XGFT) topology construction.
+
+The paper's Table II evaluates on ``XGFT(2; 18, 14; 1, 18)``: a two-level
+fat tree whose leaf switches each attach 18 compute nodes, with 14 leaf
+switches and 18 top-level (spine) switches.  We implement the general
+XGFT(h; m_1..m_h; w_1..w_h) recursive definition (Öhring et al.):
+
+* an XGFT of height 0 is a single compute node;
+* an XGFT of height ``h`` consists of ``m_h`` disjoint sub-trees of height
+  ``h-1`` plus ``w_h * prod(w_1..w_{h-1})`` top switches at level ``h``;
+  top switch numbering and the connection rule follow the standard
+  construction: sub-tree ``i``'s level-(h-1) top switch ``j`` connects to
+  the top switches whose index is congruent to ``j`` modulo the sub-tree's
+  top-switch count, fanned out ``w_h`` ways.
+
+For the two-level instance used in the paper this degenerates to the
+familiar picture: every leaf switch has an uplink to every spine switch.
+
+Nodes in the graph are identified by ``NodeId`` tuples so that tests can
+assert structure without depending on integer numbering.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..constants import XGFT_CHILDREN, XGFT_HEIGHT, XGFT_PARENTS
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class NodeId:
+    """Identifier of a vertex in the fat tree.
+
+    ``level`` 0 denotes compute nodes (hosts); levels ``1..h`` are switch
+    levels.  ``index`` is the position within the level, counted left to
+    right in the recursive construction.
+    """
+
+    level: int
+    index: int
+
+    @property
+    def is_host(self) -> bool:
+        return self.level == 0
+
+    def __str__(self) -> str:  # compact for logs: h12, s1.3
+        if self.is_host:
+            return f"h{self.index}"
+        return f"s{self.level}.{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class XGFTSpec:
+    """Parameters of an XGFT(h; m_1..m_h; w_1..w_h)."""
+
+    children: tuple[int, ...]   # m_1 .. m_h
+    parents: tuple[int, ...]    # w_1 .. w_h
+
+    def __post_init__(self) -> None:
+        if len(self.children) != len(self.parents):
+            raise ValueError("children and parents must have the same length")
+        if not self.children:
+            raise ValueError("height must be at least 1")
+        if any(m <= 0 for m in self.children) or any(w <= 0 for w in self.parents):
+            raise ValueError("all arities must be positive")
+
+    @property
+    def height(self) -> int:
+        return len(self.children)
+
+    @property
+    def num_hosts(self) -> int:
+        n = 1
+        for m in self.children:
+            n *= m
+        return n
+
+    def switches_at_level(self, level: int) -> int:
+        """Number of switches at ``level`` (1-based)."""
+
+        if not 1 <= level <= self.height:
+            raise ValueError(f"level {level} out of range 1..{self.height}")
+        # prod(m_{level+1}..m_h) groups, each with prod(w_1..w_level) switches
+        groups = 1
+        for m in self.children[level:]:
+            groups *= m
+        switches = 1
+        for w in self.parents[:level]:
+            switches *= w
+        return groups * switches
+
+    @property
+    def num_switches(self) -> int:
+        return sum(self.switches_at_level(l) for l in range(1, self.height + 1))
+
+    @classmethod
+    def paper_default(cls) -> "XGFTSpec":
+        """The paper's Table II connectivity: XGFT(2; 18, 14; 1, 18)."""
+
+        assert XGFT_HEIGHT == len(XGFT_CHILDREN) == len(XGFT_PARENTS)
+        return cls(tuple(XGFT_CHILDREN), tuple(XGFT_PARENTS))
+
+    @classmethod
+    def two_level(cls, hosts_per_leaf: int, num_leaves: int, num_spines: int) -> "XGFTSpec":
+        """Convenience for the common 2-level case.
+
+        ``XGFT(2; hosts_per_leaf, num_leaves; 1, num_spines)``.
+        """
+
+        return cls((hosts_per_leaf, num_leaves), (1, num_spines))
+
+
+@dataclass(slots=True)
+class Topology:
+    """An explicit vertex/edge representation of an XGFT.
+
+    Edges are stored as an adjacency map ``node -> sorted list of
+    neighbours``; every physical cable appears exactly once in ``edges``.
+    """
+
+    spec: XGFTSpec
+    hosts: list[NodeId] = field(default_factory=list)
+    switches: list[NodeId] = field(default_factory=list)
+    adjacency: dict[NodeId, list[NodeId]] = field(default_factory=dict)
+    edges: list[tuple[NodeId, NodeId]] = field(default_factory=list)
+
+    def neighbors(self, node: NodeId) -> list[NodeId]:
+        return self.adjacency[node]
+
+    def up_neighbors(self, node: NodeId) -> list[NodeId]:
+        return [n for n in self.adjacency[node] if n.level > node.level]
+
+    def down_neighbors(self, node: NodeId) -> list[NodeId]:
+        return [n for n in self.adjacency[node] if n.level < node.level]
+
+    @property
+    def num_hosts(self) -> int:
+        return len(self.hosts)
+
+    def host(self, index: int) -> NodeId:
+        return self.hosts[index]
+
+    def validate(self) -> None:
+        """Structural sanity checks (used by tests and on construction)."""
+
+        if len(self.hosts) != self.spec.num_hosts:
+            raise AssertionError("host count mismatch")
+        if len(self.switches) != self.spec.num_switches:
+            raise AssertionError("switch count mismatch")
+        for host in self.hosts:
+            ups = self.up_neighbors(host)
+            if len(ups) != 1:
+                raise AssertionError(f"host {host} has {len(ups)} uplinks")
+        seen = set()
+        for a, b in self.edges:
+            key = (a, b) if a <= b else (b, a)
+            if key in seen:
+                raise AssertionError(f"duplicate edge {a}-{b}")
+            seen.add(key)
+
+
+def build_xgft(spec: XGFTSpec) -> Topology:
+    """Materialise the XGFT described by ``spec``."""
+
+    topo = Topology(spec=spec)
+    h = spec.height
+
+    topo.hosts = [NodeId(0, i) for i in range(spec.num_hosts)]
+    level_nodes: dict[int, list[NodeId]] = {0: list(topo.hosts)}
+    for level in range(1, h + 1):
+        nodes = [NodeId(level, i) for i in range(spec.switches_at_level(level))]
+        level_nodes[level] = nodes
+        topo.switches.extend(nodes)
+
+    for node in itertools.chain(topo.hosts, topo.switches):
+        topo.adjacency[node] = []
+
+    def connect(a: NodeId, b: NodeId) -> None:
+        topo.adjacency[a].append(b)
+        topo.adjacency[b].append(a)
+        topo.edges.append((a, b))
+
+    # Recursive XGFT wiring.  At each level l (1-based) the tree of height
+    # ``l`` is partitioned into prod(m_{l+1}..m_h) identical sub-trees.
+    # Within one sub-tree there are m_l child-blocks, each exposing
+    # top_below = prod(w_1..w_{l-1}) level-(l-1) top vertices, and
+    # tops = top_below * w_l level-l switches.  Child-block c's top vertex
+    # j connects to level-l switches {j, j+top_below, ..., j+(w_l-1)*top_below}.
+    for level in range(1, h + 1):
+        m_l = spec.children[level - 1]
+        w_l = spec.parents[level - 1]
+        top_below = 1
+        for w in spec.parents[: level - 1]:
+            top_below *= w
+        tops_per_subtree = top_below * w_l
+
+        if level == 1:
+            below_per_subtree = 1  # hosts expose themselves
+        else:
+            below_per_subtree = top_below
+
+        # how many height-level sub-trees exist
+        num_subtrees = 1
+        for m in spec.children[level:]:
+            num_subtrees *= m
+
+        below_nodes = level_nodes[level - 1]
+        these = level_nodes[level]
+        # nodes of level-1 exposed per height-(level) sub-tree:
+        below_per_tree = len(below_nodes) // num_subtrees
+        tops_per_tree = len(these) // num_subtrees
+        assert tops_per_tree == tops_per_subtree
+
+        for t in range(num_subtrees):
+            tree_below = below_nodes[t * below_per_tree : (t + 1) * below_per_tree]
+            tree_tops = these[t * tops_per_tree : (t + 1) * tops_per_tree]
+            block = below_per_tree // m_l  # exposed vertices per child block
+            for c in range(m_l):
+                child_top = tree_below[c * block : (c + 1) * block]
+                # for level 1 every host is its own "top"; for higher levels
+                # only the top_below top vertices of the child sub-tree
+                # participate (which is all of them, since block==top_below
+                # when level>1 and block==1 when level==1).
+                for j, v in enumerate(child_top):
+                    for k in range(w_l):
+                        connect(v, tree_tops[j + k * len(child_top)])
+
+    for node in topo.adjacency:
+        topo.adjacency[node].sort()
+    topo.validate()
+    return topo
+
+
+def paper_topology() -> Topology:
+    """The evaluation fabric from Table II: XGFT(2; 18, 14; 1, 18)."""
+
+    return build_xgft(XGFTSpec.paper_default())
+
+
+def fitted_topology(nranks: int, hosts_per_leaf: int = 18) -> Topology:
+    """Smallest paper-style 2-level XGFT that accommodates ``nranks`` hosts.
+
+    The paper allocates one MPI process per node; simulating the full
+    252-host fabric for an 8-rank run wastes memory, so experiments use a
+    rightsized instance with the same hosts-per-leaf arity and full
+    leaf-spine bisection (one uplink from each leaf to every spine).
+    """
+
+    if nranks <= 0:
+        raise ValueError("nranks must be positive")
+    hosts_per_leaf = min(hosts_per_leaf, nranks)
+    num_leaves = -(-nranks // hosts_per_leaf)  # ceil
+    if num_leaves == 1:
+        # keep a genuine two-level network: split across two leaves
+        num_leaves = 2 if nranks > 1 else 1
+        hosts_per_leaf = -(-nranks // num_leaves)
+    num_spines = max(1, min(18, hosts_per_leaf))
+    spec = XGFTSpec.two_level(hosts_per_leaf, num_leaves, num_spines)
+    return build_xgft(spec)

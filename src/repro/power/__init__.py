@@ -1,0 +1,31 @@
+"""Power substrate: WRPS parameters, energy accounting, link controller.
+
+Implements the hardware side of the paper's mechanism: the Mellanox-style
+Width Reduction Power Saving (43 % of nominal in 1X mode), the per-link
+hardware reactivation timer (Fig. 5), energy integration over power-state
+timelines, and switch-level aggregation for the Section VI extension.
+"""
+
+from .controller import ManagedLink, PowerEventCounters
+from .model import (
+    LinkEnergyAccount,
+    PowerReport,
+    StateInterval,
+    aggregate,
+    switch_level_savings_pct,
+)
+from .states import WRPSParams
+from .switchpower import SwitchPowerModel, fleet_switch_savings_pct
+
+__all__ = [
+    "ManagedLink",
+    "PowerEventCounters",
+    "LinkEnergyAccount",
+    "PowerReport",
+    "StateInterval",
+    "aggregate",
+    "switch_level_savings_pct",
+    "WRPSParams",
+    "SwitchPowerModel",
+    "fleet_switch_savings_pct",
+]

@@ -1,0 +1,172 @@
+"""Energy accounting: per-link power-state timelines and their integrals.
+
+Every managed link owns a :class:`LinkEnergyAccount` that records the
+piecewise-constant power-state timeline produced by the controller.  At
+the end of a run the account is *closed* at the simulation end time and
+integrated; the run-level savings number the paper reports —
+
+    power savings [%] = (1 - E_managed / E_always_on) * 100
+
+— is the residency-weighted average over links (E_always_on is nominal
+power times wall time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..network.links import LinkPowerMode
+from .states import WRPSParams
+
+
+@dataclass(frozen=True, slots=True)
+class StateInterval:
+    """One segment of a link's power timeline."""
+
+    start_us: float
+    end_us: float
+    mode: LinkPowerMode
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass(slots=True)
+class LinkEnergyAccount:
+    """Power-state timeline of one link.
+
+    The timeline always starts at t=0 in FULL mode.  Transitions are
+    appended in nondecreasing time order; the final interval is open
+    until :meth:`close` pins the simulation end.
+    """
+
+    params: WRPSParams
+    intervals: list[StateInterval] = field(default_factory=list)
+    _mode: LinkPowerMode = LinkPowerMode.FULL
+    _since_us: float = 0.0
+    _closed: bool = False
+    transitions_to_low: int = 0
+
+    @property
+    def current_mode(self) -> LinkPowerMode:
+        return self._mode
+
+    def switch_mode(self, t_us: float, mode: LinkPowerMode) -> None:
+        """Enter ``mode`` at time ``t_us``."""
+
+        if self._closed:
+            raise RuntimeError("account already closed")
+        if t_us < self._since_us - 1e-9:
+            raise ValueError(
+                f"time went backwards: {t_us} < {self._since_us}"
+            )
+        t_us = max(t_us, self._since_us)
+        if mode is self._mode:
+            return
+        if t_us > self._since_us:
+            self.intervals.append(StateInterval(self._since_us, t_us, self._mode))
+        if mode is LinkPowerMode.LOW:
+            self.transitions_to_low += 1
+        self._mode = mode
+        self._since_us = t_us
+
+    def close(self, t_end_us: float) -> None:
+        if self._closed:
+            return
+        if t_end_us > self._since_us:
+            self.intervals.append(
+                StateInterval(self._since_us, t_end_us, self._mode)
+            )
+        self._closed = True
+
+    # -- integrals -----------------------------------------------------------
+
+    def residency_us(self, mode: LinkPowerMode) -> float:
+        return sum(i.duration_us for i in self.intervals if i.mode is mode)
+
+    @property
+    def total_us(self) -> float:
+        return sum(i.duration_us for i in self.intervals)
+
+    def energy(self) -> float:
+        """Integral of normalised power over the timeline (units: us)."""
+
+        return sum(
+            self.params.power_of(i.mode) * i.duration_us for i in self.intervals
+        )
+
+    def savings_fraction(self) -> float:
+        """1 - E/E_always_on over this link's timeline."""
+
+        total = self.total_us
+        if total <= 0:
+            return 0.0
+        return 1.0 - self.energy() / total
+
+    def low_power_fraction_of_time(self) -> float:
+        total = self.total_us
+        if total <= 0:
+            return 0.0
+        return self.residency_us(LinkPowerMode.LOW) / total
+
+
+@dataclass(frozen=True, slots=True)
+class PowerReport:
+    """Aggregated power outcome of one simulated run."""
+
+    mean_savings_pct: float
+    per_link_savings_pct: tuple[float, ...]
+    mean_low_residency_pct: float
+    total_transitions_to_low: int
+    wall_time_us: float
+
+    @property
+    def max_possible_savings_pct(self) -> float:
+        """Upper bound if links were in LOW 100 % of the time."""
+
+        return 100.0  # placeholder overridden by aggregate()
+
+
+def aggregate(
+    accounts: Sequence[LinkEnergyAccount], wall_time_us: float
+) -> PowerReport:
+    """Close and integrate all accounts; average over links.
+
+    The paper averages "over all MPI processes" — i.e. over HCA links —
+    which is what callers pass here.
+    """
+
+    if not accounts:
+        raise ValueError("no accounts to aggregate")
+    savings: list[float] = []
+    low_res: list[float] = []
+    transitions = 0
+    for acc in accounts:
+        acc.close(wall_time_us)
+        savings.append(100.0 * acc.savings_fraction())
+        low_res.append(100.0 * acc.low_power_fraction_of_time())
+        transitions += acc.transitions_to_low
+    return PowerReport(
+        mean_savings_pct=sum(savings) / len(savings),
+        per_link_savings_pct=tuple(savings),
+        mean_low_residency_pct=sum(low_res) / len(low_res),
+        total_transitions_to_low=transitions,
+        wall_time_us=wall_time_us,
+    )
+
+
+def switch_level_savings_pct(
+    link_savings_pct: float, link_share: float
+) -> float:
+    """Scale link-level savings to whole-switch power.
+
+    The paper's headline numbers follow the link-power convention; this
+    helper expresses them against total switch power using the IBM 64 %
+    link-share datum, for the discussion section of EXPERIMENTS.md.
+    """
+
+    if not 0.0 <= link_share <= 1.0:
+        raise ValueError("link_share must be in [0, 1]")
+    return link_savings_pct * link_share

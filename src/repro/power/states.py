@@ -1,0 +1,73 @@
+"""Link power-state definitions and WRPS parameters.
+
+The paper's link operates in three modes (Section III-B):
+
+* **full** — all four lanes active, nominal power (1.0);
+* **low** — WRPS has shut down three lanes, 43 % of nominal;
+* **transition** — lanes shifting between widths, charged at full power.
+
+:class:`WRPSParams` bundles the numbers so ablations (deeper sleep,
+different reactivation costs) are a parameter change, not a code change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import (
+    DEEP_SLEEP_POWER_FRACTION,
+    LOW_POWER_FRACTION,
+    T_REACT_DEEP_US,
+    T_REACT_US,
+    TRANSITION_POWER_FRACTION,
+)
+from ..network.links import LinkPowerMode
+
+
+@dataclass(frozen=True, slots=True)
+class WRPSParams:
+    """Width-Reduction Power Saving parameters for one link class."""
+
+    low_power_fraction: float = LOW_POWER_FRACTION
+    transition_power_fraction: float = TRANSITION_POWER_FRACTION
+    t_react_us: float = T_REACT_US
+    #: deactivation is overlapped with computation in the paper, but it
+    #: still occupies the link in TRANSITION state for this long.
+    t_deact_us: float = T_REACT_US
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low_power_fraction <= 1.0:
+            raise ValueError("low_power_fraction must be in [0, 1]")
+        if not 0.0 <= self.transition_power_fraction <= 1.0:
+            raise ValueError("transition_power_fraction must be in [0, 1]")
+        if self.t_react_us < 0 or self.t_deact_us < 0:
+            raise ValueError("transition times must be non-negative")
+
+    @property
+    def min_worthwhile_idle_us(self) -> float:
+        """T_idle > 2*T_react: the paper's break-even idle duration."""
+
+        return 2.0 * self.t_react_us
+
+    def power_of(self, mode: LinkPowerMode) -> float:
+        if mode is LinkPowerMode.FULL:
+            return 1.0
+        if mode is LinkPowerMode.LOW:
+            return self.low_power_fraction
+        return self.transition_power_fraction
+
+    @classmethod
+    def paper(cls) -> "WRPSParams":
+        """Exactly the paper's numbers (43 %, 10 us)."""
+
+        return cls()
+
+    @classmethod
+    def deep_sleep(cls) -> "WRPSParams":
+        """Section VI extension: whole-switch sleep, ~1 ms reactivation."""
+
+        return cls(
+            low_power_fraction=DEEP_SLEEP_POWER_FRACTION,
+            t_react_us=T_REACT_DEEP_US,
+            t_deact_us=T_REACT_DEEP_US,
+        )

@@ -1,0 +1,81 @@
+"""Switch-level power aggregation and the Section VI deep-sleep extension.
+
+The paper's headline numbers follow the *link power* convention (LOW mode
+at 43 % of nominal link power).  This module adds two refinements used in
+EXPERIMENTS.md and the ablation benches:
+
+1. **Whole-switch scaling** — the IBM 8-port 12X datum says links account
+   for 64 % of switch power; the rest (input buffers, crossbar, control)
+   stays on in the paper's main scheme.  :class:`SwitchPowerModel`
+   converts per-link savings to whole-switch savings.
+2. **Deep sleep** (Section VI future work) — powering down buffers and
+   crossbar too, with reactivation up to a millisecond.  The ablation
+   bench reruns the pipeline with :meth:`WRPSParams.deep_sleep`-style
+   parameters to show how the predictor amortises long wake-ups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..constants import LINK_SHARE_OF_SWITCH_POWER
+from .model import LinkEnergyAccount
+
+
+@dataclass(frozen=True, slots=True)
+class SwitchPowerModel:
+    """Static power breakdown of one IB switch."""
+
+    link_share: float = LINK_SHARE_OF_SWITCH_POWER
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.link_share <= 1.0:
+            raise ValueError("link_share must be in (0, 1]")
+
+    @property
+    def other_share(self) -> float:
+        return 1.0 - self.link_share
+
+    def switch_savings_pct(self, link_savings_pct: float) -> float:
+        """Whole-switch savings when only links are managed."""
+
+        if link_savings_pct < 0:
+            raise ValueError("negative savings")
+        return link_savings_pct * self.link_share
+
+    def switch_savings_with_deep_sleep_pct(
+        self,
+        link_savings_pct: float,
+        other_low_residency_pct: float,
+        other_sleep_power_fraction: float = 0.1,
+    ) -> float:
+        """Whole-switch savings if buffers/crossbar also sleep.
+
+        ``other_low_residency_pct`` is the share of time the non-link
+        components spend asleep; when asleep they draw
+        ``other_sleep_power_fraction`` of their nominal power.
+        """
+
+        if not 0.0 <= other_low_residency_pct <= 100.0:
+            raise ValueError("residency must be a percentage")
+        other_sav = (other_low_residency_pct / 100.0) * (
+            1.0 - other_sleep_power_fraction
+        )
+        return (
+            link_savings_pct * self.link_share
+            + 100.0 * other_sav * self.other_share
+        )
+
+
+def fleet_switch_savings_pct(
+    accounts: Sequence[LinkEnergyAccount],
+    model: SwitchPowerModel | None = None,
+) -> float:
+    """Average whole-switch savings over a set of closed link accounts."""
+
+    if not accounts:
+        raise ValueError("no accounts")
+    m = model or SwitchPowerModel()
+    link_sav = [100.0 * a.savings_fraction() for a in accounts]
+    return m.switch_savings_pct(sum(link_sav) / len(link_sav))

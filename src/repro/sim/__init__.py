@@ -1,0 +1,39 @@
+"""Simulator substrate: DES engine, MPI replay, collectives, replays.
+
+The Dimemas+Venus co-simulation of the paper, in two layers:
+
+* :mod:`repro.sim.engine` / :mod:`repro.sim.mpi` — discrete-event kernel
+  and MPI semantics (matching, eager/rendezvous, collectives);
+* :mod:`repro.sim.dimemas` — the trace replay drivers used by every
+  experiment (baseline and managed runs).
+"""
+
+from .dimemas import ReplayConfig, replay_baseline, replay_managed
+from .engine import AllOf, Delay, Engine, Signal, SimulationError
+from .mpi import MPIWorld, RankDirective
+from .results import BaselineResult, ManagedResult
+from .venus import (
+    LinkUsage,
+    fabric_usage,
+    host_link_idle_distribution,
+    link_usage,
+)
+
+__all__ = [
+    "ReplayConfig",
+    "replay_baseline",
+    "replay_managed",
+    "AllOf",
+    "Delay",
+    "Engine",
+    "Signal",
+    "SimulationError",
+    "MPIWorld",
+    "RankDirective",
+    "BaselineResult",
+    "ManagedResult",
+    "LinkUsage",
+    "fabric_usage",
+    "host_link_idle_distribution",
+    "link_usage",
+]

@@ -1,0 +1,173 @@
+"""Top-level replay drivers (the Dimemas role).
+
+Two entry points mirror the paper's methodology (Section IV-A):
+
+* :func:`replay_baseline` — "we first run the simulation without any
+  modification of the traces" — the power-unaware run that yields the
+  original execution time and the timed per-rank MPI event streams.
+* :func:`replay_managed` — the relaunched simulation with the power
+  mechanism's directives applied (PPA overheads at call boundaries,
+  turn-off instructions with programmed timers, reactivation penalties on
+  mispredictions) and per-link energy accounting.
+
+The directives are produced by :mod:`repro.core.runtime` from the
+baseline event streams, exactly as the paper inserts new events into the
+traces after applying the PPA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..constants import EAGER_THRESHOLD_BYTES
+from ..network.fabric import Fabric
+from ..network.links import Link, LinkPowerMode
+from ..power.controller import ManagedLink
+from ..power.model import aggregate
+from ..power.states import WRPSParams
+from ..trace.trace import Trace
+from .engine import Engine
+from .mpi import MPIWorld, RankDirective
+from .results import BaselineResult, ManagedResult
+
+
+@dataclass(frozen=True, slots=True)
+class ReplayConfig:
+    """Knobs of one replay (defaults = the paper's Table II)."""
+
+    seed: int = 0
+    hosts_per_leaf: int = 18
+    random_routing: bool = True
+    eager_threshold_bytes: int = EAGER_THRESHOLD_BYTES
+    cpu_speedup: float = 1.0
+
+
+def _build_world(
+    trace: Trace, config: ReplayConfig, power_hook=None
+) -> tuple[Engine, Fabric, MPIWorld]:
+    engine = Engine()
+    fabric = Fabric.for_ranks(
+        trace.nranks,
+        seed=config.seed,
+        hosts_per_leaf=config.hosts_per_leaf,
+        random_routing=config.random_routing,
+    )
+    world = MPIWorld(
+        engine,
+        fabric,
+        trace.nranks,
+        eager_threshold_bytes=config.eager_threshold_bytes,
+        power_hook=power_hook,
+        cpu_speedup=config.cpu_speedup,
+    )
+    return engine, fabric, world
+
+
+def replay_baseline(
+    trace: Trace, config: ReplayConfig | None = None
+) -> BaselineResult:
+    """Replay with always-on links; returns timing and event streams."""
+
+    cfg = config or ReplayConfig()
+    engine, fabric, world = _build_world(trace, cfg)
+    for proc in trace.processes:
+        engine.spawn(
+            world.rank_program(proc.rank, proc.records), name=f"rank{proc.rank}"
+        )
+    exec_time = engine.run()
+    return BaselineResult(
+        trace_name=trace.name,
+        nranks=trace.nranks,
+        exec_time_us=exec_time,
+        event_logs=world.event_logs,
+        messages_sent=fabric.messages_sent,
+        bytes_carried=fabric.total_bytes_carried(),
+    )
+
+
+def replay_managed(
+    trace: Trace,
+    directives: Sequence[dict[int, RankDirective]],
+    *,
+    baseline_exec_time_us: float,
+    displacement: float,
+    grouping_thresholds_us: Sequence[float],
+    config: ReplayConfig | None = None,
+    wrps: WRPSParams | None = None,
+    runtime_stats: Sequence | None = None,
+) -> ManagedResult:
+    """Replay with the power mechanism's directives applied.
+
+    ``directives[rank]`` maps MPI-call index to :class:`RankDirective`.
+    Each rank's HCA link becomes a :class:`ManagedLink`; transfers that
+    find a link below full width pay the reactivation penalty through the
+    fabric's power hook.
+    """
+
+    if len(directives) != trace.nranks:
+        raise ValueError(
+            f"need directives for {trace.nranks} ranks, got {len(directives)}"
+        )
+    cfg = config or ReplayConfig()
+    params = wrps or WRPSParams.paper()
+
+    managed: dict[tuple, ManagedLink] = {}
+
+    def power_hook(link: Link, t_us: float) -> float:
+        ml = managed.get((link.a, link.b))
+        if ml is None:
+            return link.ready_time(t_us)
+        return ml.request_full(t_us)
+
+    engine, fabric, world = _build_world(trace, cfg, power_hook=power_hook)
+
+    rank_links: list[ManagedLink] = []
+    for rank in range(trace.nranks):
+        link = fabric.host_link(rank)
+        ml = ManagedLink.create(link, params)
+        managed[(link.a, link.b)] = ml
+        rank_links.append(ml)
+
+    def on_shutdown(
+        rank: int, t_us: float, timer_us: float, delay_us: float = 0.0
+    ) -> None:
+        if delay_us > 0.0:
+            # delayed turn-off (reactive baseline): route through the
+            # event queue so per-link operations stay time-ordered
+            engine.call_at(
+                t_us + delay_us,
+                lambda: rank_links[rank].shutdown(t_us + delay_us, timer_us),
+            )
+        else:
+            rank_links[rank].shutdown(t_us, timer_us)
+
+    for proc in trace.processes:
+        engine.spawn(
+            world.rank_program(
+                proc.rank,
+                proc.records,
+                directives=directives[proc.rank],
+                on_shutdown=on_shutdown,
+            ),
+            name=f"rank{proc.rank}",
+        )
+    exec_time = engine.run()
+
+    for ml in rank_links:
+        ml.finish(exec_time)
+    report = aggregate([ml.account for ml in rank_links], exec_time)
+
+    return ManagedResult(
+        trace_name=trace.name,
+        nranks=trace.nranks,
+        exec_time_us=exec_time,
+        baseline_exec_time_us=baseline_exec_time_us,
+        power=report,
+        counters=[ml.counters for ml in rank_links],
+        event_logs=world.event_logs,
+        displacement=displacement,
+        grouping_thresholds_us=list(grouping_thresholds_us),
+        runtime_stats=list(runtime_stats) if runtime_stats is not None else [],
+        accounts=[ml.account for ml in rank_links],
+    )

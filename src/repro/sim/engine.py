@@ -1,0 +1,222 @@
+"""Discrete-event simulation core.
+
+A minimal, dependency-free DES kernel in the SimPy style: *processes* are
+Python generators that ``yield`` requests to the engine — either a
+:class:`Delay` or a :class:`Signal` / :class:`AllOf` to wait on.  The
+engine owns the clock and a priority queue; everything else (MPI
+semantics, the network, power) is layered on top in :mod:`repro.sim.mpi`.
+
+Determinism: events scheduled for the same timestamp are processed in
+insertion order (a monotonically increasing sequence number breaks ties),
+so repeated runs of the same trace are bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+
+class SimulationError(RuntimeError):
+    """Deadlock or protocol violation detected by the engine."""
+
+
+@dataclass(frozen=True, slots=True)
+class Delay:
+    """Yielded by a process to advance its local time."""
+
+    duration_us: float
+
+
+class Signal:
+    """A one-shot condition that processes (or callbacks) can wait on.
+
+    ``fire(value)`` wakes every current and future waiter; waiting on an
+    already-fired signal resumes immediately.  Used for message arrival,
+    rendezvous handshakes, collective phases, etc.
+    """
+
+    __slots__ = ("engine", "name", "fired", "value", "_waiters")
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    def fire(self, value: Any = None) -> None:
+        if self.fired:
+            return
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        now = self.engine.now
+        for wake in waiters:
+            self.engine.call_at(now, lambda w=wake: w(self.value))
+
+    def fire_at(self, t_us: float, value: Any = None) -> None:
+        """Schedule the signal to fire at absolute time ``t_us``."""
+
+        self.engine.call_at(t_us, lambda: self.fire(value))
+
+    def add_callback(self, wake: Callable[[Any], None]) -> None:
+        """Run ``wake(value)`` when the signal fires (immediately if it
+        already has)."""
+
+        if self.fired:
+            self.engine.call_at(self.engine.now, lambda: wake(self.value))
+        else:
+            self._waiters.append(wake)
+
+
+class AllOf:
+    """Barrier over several signals: resumes once every signal has fired.
+
+    The resumed process receives the list of signal values, ordered as
+    passed in.
+    """
+
+    __slots__ = ("signals",)
+
+    def __init__(self, signals: Iterable[Signal]) -> None:
+        self.signals = list(signals)
+
+
+@dataclass(slots=True)
+class _Process:
+    name: str
+    gen: Generator
+    done: bool = False
+    result: Any = None
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time_us: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class Engine:
+    """The event loop."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._processes: list[_Process] = []
+        self._active = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "proc") -> _Process:
+        """Register a generator as a simulation process, started at t=now."""
+
+        proc = _Process(name=name, gen=gen)
+        self._processes.append(proc)
+        self._active += 1
+        self.call_at(self.now, lambda: self._resume(proc, None))
+        return proc
+
+    def call_at(self, t_us: float, action: Callable[[], None]) -> None:
+        """Run ``action()`` at absolute time ``t_us`` (>= now)."""
+
+        if t_us < self.now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule in the past: {t_us} < now={self.now}"
+            )
+        heapq.heappush(
+            self._queue, _QueueEntry(max(t_us, self.now), next(self._seq), action)
+        )
+
+    def run(self, until_us: float | None = None) -> float:
+        """Drain the event queue; returns the final simulation time.
+
+        Raises :class:`SimulationError` if processes remain blocked when
+        the queue empties (deadlock — e.g. an unmatched receive).
+        """
+
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if until_us is not None and entry.time_us > until_us:
+                heapq.heappush(self._queue, entry)
+                self.now = until_us
+                return self.now
+            if entry.time_us < self.now - 1e-9:
+                raise SimulationError("time went backwards in event queue")
+            self.now = max(self.now, entry.time_us)
+            entry.action()
+        if self._active > 0:
+            blocked = [p.name for p in self._processes if not p.done]
+            raise SimulationError(
+                f"deadlock: {self._active} process(es) still blocked: "
+                + ", ".join(blocked[:8])
+                + ("..." if len(blocked) > 8 else "")
+            )
+        return self.now
+
+    def new_signal(self, name: str = "") -> Signal:
+        return Signal(self, name)
+
+    @property
+    def unfinished(self) -> int:
+        return self._active
+
+    # -- internals -------------------------------------------------------------
+
+    def _resume(self, proc: _Process, send_value: Any) -> None:
+        if proc.done:
+            return
+        try:
+            request = proc.gen.send(send_value)
+        except StopIteration as stop:
+            proc.done = True
+            proc.result = stop.value
+            self._active -= 1
+            return
+        self._handle_request(proc, request)
+
+    def _handle_request(self, proc: _Process, request: Any) -> None:
+        if isinstance(request, Delay):
+            if request.duration_us < 0:
+                raise SimulationError(
+                    f"process {proc.name} yielded a negative delay"
+                )
+            self.call_at(
+                self.now + request.duration_us, lambda: self._resume(proc, None)
+            )
+        elif isinstance(request, Signal):
+            request.add_callback(lambda value: self._resume(proc, value))
+        elif isinstance(request, AllOf):
+            self._await_all(proc, request)
+        else:
+            raise SimulationError(
+                f"process {proc.name} yielded unsupported request "
+                f"{request!r}; yield Delay, Signal or AllOf"
+            )
+
+    def _await_all(self, proc: _Process, barrier: AllOf) -> None:
+        signals = barrier.signals
+        if not signals:
+            self.call_at(self.now, lambda: self._resume(proc, []))
+            return
+        remaining = {i for i, s in enumerate(signals) if not s.fired}
+        if not remaining:
+            self.call_at(
+                self.now, lambda: self._resume(proc, [s.value for s in signals])
+            )
+            return
+
+        def make_waiter(index: int) -> Callable[[Any], None]:
+            def wake(_value: Any) -> None:
+                remaining.discard(index)
+                if not remaining:
+                    self._resume(proc, [s.value for s in signals])
+
+            return wake
+
+        for i in sorted(remaining):
+            signals[i].add_callback(make_waiter(i))

@@ -1,0 +1,341 @@
+"""MPI replay semantics on top of the DES engine and the fabric.
+
+This is the Dimemas half of the paper's co-simulation: each rank is a
+simulation process that walks its trace — CPU bursts advance its clock,
+MPI operations are executed against the matching layer and the network.
+
+Protocol model:
+
+* **eager** sends (size <= eager threshold): the payload is injected
+  immediately; the sender unblocks when its HCA channel has drained the
+  message, the receiver completes at last-byte arrival.
+* **rendezvous** sends: an RTS control message (MPI latency) travels to
+  the receiver; when the receiver matches it, a CTS returns (another MPI
+  latency) and the payload transfer starts.  The sender unblocks when its
+  buffer is drained, the receiver at arrival.
+* **collectives** are expanded into the point-to-point schedules of
+  :mod:`repro.sim.collectives` and executed through the same machinery,
+  so collective traffic exercises the fabric (and the power mechanism)
+  exactly like application point-to-point traffic.
+
+Message matching is by exact ``(source, tag)`` (traces are explicit; no
+wildcards), with the standard posted-receive / unexpected-message queues
+per rank.
+
+Power coupling: a ``power_hook(link, t) -> usable_t`` callable is invoked
+by the fabric whenever a transfer finds a link below full width.  The
+managed run wires this to :meth:`repro.power.controller.ManagedLink.
+request_full`, which performs the emergency reactivation and yields the
+misprediction penalty.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..constants import EAGER_THRESHOLD_BYTES, MPI_LATENCY_US
+from ..network.fabric import Fabric
+from ..trace.events import (
+    Collective,
+    Compute,
+    MPICall,
+    MPIEvent,
+    PointToPoint,
+    TraceRecord,
+)
+from . import collectives as coll
+from .engine import AllOf, Delay, Engine, Signal, SimulationError
+
+
+@dataclass(slots=True)
+class _Envelope:
+    """An in-flight message (payload or rendezvous RTS)."""
+
+    src: int
+    dst: int
+    tag: int
+    size_bytes: int
+    is_rts: bool = False
+    #: eager: fired at last-byte arrival. rendezvous: fired when payload lands.
+    data_signal: Signal | None = None
+    #: rendezvous only: fired when the receiver matches the RTS.
+    cts_signal: Signal | None = None
+
+
+@dataclass(slots=True)
+class _PostedRecv:
+    signal: Signal
+
+
+@dataclass(slots=True)
+class _RankContext:
+    rank: int
+    unexpected: dict[tuple[int, int], deque] = field(default_factory=dict)
+    posted: dict[tuple[int, int], deque] = field(default_factory=dict)
+    collective_instance: int = 0
+    pending_requests: list[Signal] = field(default_factory=list)
+
+    def pop_unexpected(self, src: int, tag: int) -> _Envelope | None:
+        q = self.unexpected.get((src, tag))
+        if q:
+            return q.popleft()
+        return None
+
+    def pop_posted(self, src: int, tag: int) -> _PostedRecv | None:
+        q = self.posted.get((src, tag))
+        if q:
+            return q.popleft()
+        return None
+
+    def add_unexpected(self, env: _Envelope) -> None:
+        self.unexpected.setdefault((env.src, env.tag), deque()).append(env)
+
+    def add_posted(self, src: int, tag: int, recv: _PostedRecv) -> None:
+        self.posted.setdefault((src, tag), deque()).append(recv)
+
+
+PowerHook = Callable[[object, float], float]
+
+
+@dataclass(slots=True)
+class RankDirective:
+    """Managed-run instrumentation attached to one MPI call of one rank.
+
+    ``pre_overhead_us``/``post_overhead_us`` are PMPI software costs
+    charged before/after the call; ``shutdown_timer_us`` (if set) issues
+    the turn-off-lanes instruction right after the call with that timer
+    value programmed (Algorithm 3's ``predictedIdleTime``).
+
+    ``shutdown_delay_us`` postpones the turn-off instruction relative to
+    the call's exit; the paper's mechanism always uses 0 (shut down
+    immediately after the predicted gram), while the *reactive* hardware
+    baseline (:mod:`repro.baselines`) uses it to model "power down after
+    the link has been idle for tau".
+    """
+
+    pre_overhead_us: float = 0.0
+    post_overhead_us: float = 0.0
+    shutdown_timer_us: float | None = None
+    shutdown_delay_us: float = 0.0
+
+
+class MPIWorld:
+    """Shared state of one replay: engine + fabric + matching layer."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        fabric: Fabric,
+        nranks: int,
+        *,
+        eager_threshold_bytes: int = EAGER_THRESHOLD_BYTES,
+        power_hook: PowerHook | None = None,
+        cpu_speedup: float = 1.0,
+    ) -> None:
+        if nranks > fabric.topo.num_hosts:
+            raise ValueError(
+                f"{nranks} ranks do not fit in a fabric with "
+                f"{fabric.topo.num_hosts} hosts"
+            )
+        if cpu_speedup <= 0:
+            raise ValueError("cpu_speedup must be positive")
+        self.engine = engine
+        self.fabric = fabric
+        self.nranks = nranks
+        self.eager_threshold = eager_threshold_bytes
+        self.power_hook = power_hook
+        self.cpu_speedup = cpu_speedup
+        self.ranks = [_RankContext(r) for r in range(nranks)]
+        self.event_logs: list[list[MPIEvent]] = [[] for _ in range(nranks)]
+        self._subproc_count = 0
+
+    # ------------------------------------------------------------------ rank
+
+    def rank_program(
+        self,
+        rank: int,
+        records: Sequence[TraceRecord],
+        directives: dict[int, RankDirective] | None = None,
+        on_shutdown: Callable[[int, float, float, float], None] | None = None,
+    ):
+        """Generator executing one rank's trace.
+
+        ``directives`` maps MPI-call index -> :class:`RankDirective`;
+        ``on_shutdown(rank, t_us, timer_us, delay_us)`` is invoked when a
+        shutdown directive executes (the managed run wires it to the
+        rank's :class:`~repro.power.controller.ManagedLink`).
+        """
+
+        engine = self.engine
+        log = self.event_logs[rank]
+        call_index = 0
+        for rec in records:
+            if isinstance(rec, Compute):
+                yield Delay(rec.duration_us / self.cpu_speedup)
+                continue
+            directive = directives.get(call_index) if directives else None
+            if directive and directive.pre_overhead_us > 0:
+                yield Delay(directive.pre_overhead_us)
+            enter = engine.now
+            if isinstance(rec, PointToPoint):
+                yield from self._execute_p2p(rank, rec)
+            elif isinstance(rec, Collective):
+                yield from self._execute_collective(rank, rec)
+            else:  # pragma: no cover - record types are closed
+                raise SimulationError(f"unknown record {rec!r}")
+            log.append(MPIEvent(rec.call, enter, engine.now))
+            if directive and directive.post_overhead_us > 0:
+                yield Delay(directive.post_overhead_us)
+            if (
+                directive
+                and directive.shutdown_timer_us is not None
+                and on_shutdown is not None
+            ):
+                on_shutdown(
+                    rank,
+                    engine.now,
+                    directive.shutdown_timer_us,
+                    directive.shutdown_delay_us,
+                )
+            call_index += 1
+
+    # ----------------------------------------------------------- primitives
+
+    def _transfer(self, src: int, dst: int, size: int, earliest: float):
+        return self.fabric.transfer(
+            src, dst, size, earliest, on_power_block=self.power_hook
+        )
+
+    def _deliver(self, env: _Envelope, t_us: float) -> None:
+        """Schedule envelope delivery into the receiver's matching layer."""
+
+        def arrive() -> None:
+            ctx = self.ranks[env.dst]
+            posted = ctx.pop_posted(env.src, env.tag)
+            if posted is None:
+                ctx.add_unexpected(env)
+                return
+            if env.is_rts:
+                assert env.cts_signal is not None
+                env.cts_signal.fire(self.engine.now)
+                # the posted recv completes when the payload lands
+                assert env.data_signal is not None
+                env.data_signal.add_callback(posted.signal.fire)
+            else:
+                posted.signal.fire(self.engine.now)
+
+        self.engine.call_at(t_us, arrive)
+
+    def _send(self, rank: int, dst: int, size: int, tag: int):
+        """Blocking-send generator (eager or rendezvous)."""
+
+        engine = self.engine
+        if size <= self.eager_threshold:
+            timing = self._transfer(rank, dst, size, engine.now)
+            env = _Envelope(rank, dst, tag, size)
+            env.data_signal = engine.new_signal()
+            env.data_signal.fire_at(timing.arrive_us, timing.arrive_us)
+            self._deliver(env, timing.arrive_us)
+            release = max(engine.now, timing.src_release_us)
+            yield Delay(release - engine.now)
+            return
+        # rendezvous
+        cts = engine.new_signal(f"cts-{rank}->{dst}#{tag}")
+        data = engine.new_signal(f"data-{rank}->{dst}#{tag}")
+        env = _Envelope(rank, dst, tag, size, is_rts=True,
+                        data_signal=data, cts_signal=cts)
+        self._deliver(env, engine.now + MPI_LATENCY_US)  # RTS flight
+        yield cts  # receiver matched; CTS flies back
+        start = engine.now + MPI_LATENCY_US
+        timing = self._transfer(rank, dst, size, start)
+        data.fire_at(timing.arrive_us, timing.arrive_us)
+        release = max(engine.now, timing.src_release_us)
+        yield Delay(release - engine.now)
+
+    def _recv(self, rank: int, src: int, tag: int):
+        """Blocking-receive generator."""
+
+        ctx = self.ranks[rank]
+        env = ctx.pop_unexpected(src, tag)
+        if env is None:
+            posted = _PostedRecv(self.engine.new_signal(f"recv-{rank}<-{src}#{tag}"))
+            ctx.add_posted(src, tag, posted)
+            yield posted.signal
+            return
+        if env.is_rts:
+            assert env.cts_signal is not None and env.data_signal is not None
+            env.cts_signal.fire(self.engine.now)
+            yield env.data_signal
+            return
+        # eager payload already arrived; receive completes immediately
+
+    def _spawn_op(self, gen, kind: str) -> Signal:
+        """Run an op generator as a helper process; returns completion signal."""
+
+        done = self.engine.new_signal(f"{kind}-done")
+        self._subproc_count += 1
+
+        def runner():
+            yield from gen
+            done.fire(self.engine.now)
+
+        self.engine.spawn(runner(), name=f"{kind}#{self._subproc_count}")
+        return done
+
+    def isend(self, rank: int, dst: int, size: int, tag: int) -> Signal:
+        return self._spawn_op(self._send(rank, dst, size, tag), f"isend{rank}")
+
+    def irecv(self, rank: int, src: int, tag: int) -> Signal:
+        return self._spawn_op(self._recv(rank, src, tag), f"irecv{rank}")
+
+    # ------------------------------------------------------------ operations
+
+    def _execute_p2p(self, rank: int, rec: PointToPoint):
+        call = rec.call
+        ctx = self.ranks[rank]
+        if call in (MPICall.SEND,):
+            yield from self._send(rank, rec.peer, rec.size_bytes, rec.tag)
+        elif call in (MPICall.RECV,):
+            yield from self._recv(rank, rec.peer, rec.tag)
+        elif call is MPICall.ISEND:
+            ctx.pending_requests.append(
+                self.isend(rank, rec.peer, rec.size_bytes, rec.tag)
+            )
+        elif call is MPICall.IRECV:
+            ctx.pending_requests.append(self.irecv(rank, rec.peer, rec.tag))
+        elif call in (MPICall.WAIT, MPICall.WAITALL):
+            pending, ctx.pending_requests = ctx.pending_requests, []
+            if pending:
+                yield AllOf(pending)
+        elif call in (MPICall.SENDRECV, MPICall.SENDRECV_REPLACE):
+            send_done = self.isend(rank, rec.peer, rec.size_bytes, rec.tag)
+            src = rec.recv_peer if rec.recv_peer is not None else rec.peer
+            yield from self._recv(rank, src, rec.tag)
+            yield send_done
+        else:  # pragma: no cover
+            raise SimulationError(f"unhandled point-to-point call {call!r}")
+
+    def _execute_collective(self, rank: int, rec: Collective):
+        ctx = self.ranks[rank]
+        instance = ctx.collective_instance
+        ctx.collective_instance += 1
+        steps = coll.schedule_for(
+            rec.call, rank, self.nranks, rec.size_bytes, instance, rec.root
+        )
+        # software entry cost of the collective call itself
+        yield Delay(MPI_LATENCY_US)
+        pending: list[Signal] = []
+        for step in steps:
+            if step.kind == "send":
+                if step.concurrent:
+                    pending.append(
+                        self.isend(rank, step.peer, step.size_bytes, step.tag)
+                    )
+                else:
+                    yield from self._send(rank, step.peer, step.size_bytes, step.tag)
+            else:
+                yield from self._recv(rank, step.peer, step.tag)
+        if pending:
+            yield AllOf(pending)

@@ -1,0 +1,101 @@
+"""Result containers for baseline and managed replays."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..power.controller import PowerEventCounters
+from ..power.model import PowerReport
+from ..trace.events import MPIEvent, idle_gaps
+from ..trace.intervals import IdleDistribution, distribution_from_gaps, merge_gap_streams
+
+
+@dataclass(slots=True)
+class BaselineResult:
+    """Outcome of the power-unaware replay (links always on)."""
+
+    trace_name: str
+    nranks: int
+    exec_time_us: float
+    event_logs: list[list[MPIEvent]]
+    messages_sent: int
+    bytes_carried: int
+
+    def rank_gaps(self, rank: int) -> np.ndarray:
+        return np.asarray(idle_gaps(self.event_logs[rank]), dtype=np.float64)
+
+    def all_gaps(self) -> np.ndarray:
+        return merge_gap_streams([idle_gaps(log) for log in self.event_logs])
+
+    def idle_distribution(self) -> IdleDistribution:
+        """Table I row for this run (aggregated over ranks)."""
+
+        return distribution_from_gaps(self.all_gaps())
+
+    @property
+    def mean_mpi_calls_per_rank(self) -> float:
+        if not self.event_logs:
+            return 0.0
+        return sum(len(l) for l in self.event_logs) / len(self.event_logs)
+
+
+@dataclass(slots=True)
+class ManagedResult:
+    """Outcome of a replay with the power-saving mechanism active."""
+
+    trace_name: str
+    nranks: int
+    exec_time_us: float
+    baseline_exec_time_us: float
+    power: PowerReport
+    counters: list[PowerEventCounters]
+    event_logs: list[list[MPIEvent]]
+    displacement: float
+    grouping_thresholds_us: list[float]
+    #: per-rank PPA bookkeeping forwarded from the runtime pass
+    runtime_stats: list = field(default_factory=list)
+    #: per-rank HCA-link energy accounts (power-state timelines), for
+    #: Paraver-style visualisation and fine-grained analysis
+    accounts: list = field(default_factory=list)
+
+    @property
+    def exec_time_increase_pct(self) -> float:
+        """The Figures 7-9(b) metric."""
+
+        if self.baseline_exec_time_us <= 0:
+            return 0.0
+        return 100.0 * (
+            self.exec_time_us / self.baseline_exec_time_us - 1.0
+        )
+
+    @property
+    def power_savings_pct(self) -> float:
+        """The Figures 7-9(a) metric."""
+
+        return self.power.mean_savings_pct
+
+    @property
+    def total_shutdowns(self) -> int:
+        return sum(c.shutdowns for c in self.counters)
+
+    @property
+    def total_mispredictions(self) -> int:
+        return sum(
+            c.emergency_reactivations + c.late_reactivations for c in self.counters
+        )
+
+    @property
+    def total_penalty_us(self) -> float:
+        return sum(c.total_penalty_us for c in self.counters)
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.trace_name:10s} P={self.nranks:<4d} "
+            f"savings={self.power_savings_pct:6.2f}% "
+            f"slowdown={self.exec_time_increase_pct:5.2f}% "
+            f"shutdowns={self.total_shutdowns} "
+            f"mispred={self.total_mispredictions}"
+        )

@@ -1,0 +1,92 @@
+"""Network-level probes (the Venus role's reporting side).
+
+The detailed network behaviour itself lives in :mod:`repro.network`; this
+module extracts the per-link views the experiments need from a fabric
+after a replay: utilisation, busy/idle interval populations per link, and
+contention summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..network.fabric import Fabric
+from ..network.links import Link
+from ..trace.intervals import (
+    IdleDistribution,
+    busy_to_idle_intervals,
+    distribution_from_gaps,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LinkUsage:
+    """Per-link traffic summary after a replay."""
+
+    name: str
+    is_host_link: bool
+    bytes_forward: int
+    bytes_backward: int
+    busy_us: float
+    utilization: float
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_forward + self.bytes_backward
+
+
+def link_usage(link: Link, t_end_us: float) -> LinkUsage:
+    busy_fwd = sum(e - s for s, e in link.forward.busy_log)
+    busy_bwd = sum(e - s for s, e in link.backward.busy_log)
+    busy = busy_fwd + busy_bwd
+    return LinkUsage(
+        name=f"{link.a}-{link.b}",
+        is_host_link=link.is_host_link,
+        bytes_forward=link.forward.bytes_carried,
+        bytes_backward=link.backward.bytes_carried,
+        busy_us=busy,
+        utilization=min(1.0, busy / (2.0 * t_end_us)) if t_end_us > 0 else 0.0,
+    )
+
+
+def fabric_usage(fabric: Fabric, t_end_us: float) -> list[LinkUsage]:
+    """Usage rows for every link, host links first, busiest first."""
+
+    rows = [link_usage(l, t_end_us) for l in fabric.all_links()]
+    rows.sort(key=lambda u: (not u.is_host_link, -u.bytes_total))
+    return rows
+
+
+def host_link_idle_distribution(
+    fabric: Fabric, host: int, t_end_us: float
+) -> IdleDistribution:
+    """Table-I-style distribution of *wire-level* idle gaps on one HCA link.
+
+    This is the hardware-observed counterpart of the PMPI-observed
+    inter-communication intervals: gaps between busy periods of the host's
+    link (both directions merged).
+    """
+
+    link = fabric.host_link(host)
+    merged = sorted(link.forward.busy_log + link.backward.busy_log)
+    gaps = busy_to_idle_intervals(merged, 0.0, t_end_us)
+    return distribution_from_gaps(np.asarray(gaps))
+
+
+def wire_vs_software_idle_ratio(
+    wire: IdleDistribution, software: IdleDistribution
+) -> float:
+    """Ratio of wire-level to software-level accumulated idle time.
+
+    The wire sees slightly *more* idle time than the PMPI layer (software
+    call durations include protocol time while the wire is silent); this
+    diagnostic is used in EXPERIMENTS.md to justify measuring idle
+    intervals at the PMPI layer as the paper does.
+    """
+
+    if software.total_idle_us <= 0:
+        return float("inf") if wire.total_idle_us > 0 else 1.0
+    return wire.total_idle_us / software.total_idle_us

@@ -1,0 +1,181 @@
+"""Plain-text trace serialisation (a simplified Dimemas ``.dim`` dialect).
+
+The format is line-oriented and diff-friendly::
+
+    #TRACE name=<name> nranks=<n> key=value ...
+    #RANK <rank>
+    C <duration_us>
+    P <call_id> <peer> <size_bytes> <tag> [<recv_peer> <recv_size>]
+    G <call_id> <size_bytes> <root>
+
+Floats are written with full ``repr`` precision so a round-trip is exact.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import IO, Iterable
+
+from .events import Collective, Compute, MPICall, PointToPoint, TraceRecord
+from .trace import ProcessTrace, Trace
+
+_HEADER = "#TRACE"
+_RANK = "#RANK"
+
+
+def _fmt_meta_value(value) -> str:
+    s = str(value)
+    if any(c.isspace() or c == "=" for c in s):
+        raise ValueError(f"meta value {value!r} contains whitespace or '='")
+    return s
+
+
+def dump_trace(trace: Trace, stream: IO[str]) -> None:
+    """Write ``trace`` to a text stream."""
+
+    meta = " ".join(
+        f"{k}={_fmt_meta_value(v)}" for k, v in sorted(trace.meta.items())
+    )
+    header = f"{_HEADER} name={trace.name} nranks={trace.nranks}"
+    if meta:
+        header += " " + meta
+    stream.write(header + "\n")
+    for proc in trace.processes:
+        stream.write(f"{_RANK} {proc.rank}\n")
+        for rec in proc.records:
+            stream.write(_format_record(rec) + "\n")
+
+
+def _format_record(rec: TraceRecord) -> str:
+    if isinstance(rec, Compute):
+        return f"C {rec.duration_us!r}"
+    if isinstance(rec, PointToPoint):
+        base = f"P {int(rec.call)} {rec.peer} {rec.size_bytes} {rec.tag}"
+        if rec.recv_peer is not None or rec.recv_size_bytes is not None:
+            rp = "-" if rec.recv_peer is None else rec.recv_peer
+            rs = "-" if rec.recv_size_bytes is None else rec.recv_size_bytes
+            base += f" {rp} {rs}"
+        return base
+    if isinstance(rec, Collective):
+        return f"G {int(rec.call)} {rec.size_bytes} {rec.root}"
+    raise TypeError(f"unknown record type: {type(rec).__name__}")
+
+
+def dumps_trace(trace: Trace) -> str:
+    buf = io.StringIO()
+    dump_trace(trace, buf)
+    return buf.getvalue()
+
+
+def save_trace(trace: Trace, path: str | os.PathLike) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        dump_trace(trace, f)
+
+
+class TraceParseError(ValueError):
+    """Raised when a trace file is malformed; carries the line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def load_trace(path: str | os.PathLike) -> Trace:
+    with open(path, "r", encoding="utf-8") as f:
+        return parse_trace(f)
+
+
+def loads_trace(text: str) -> Trace:
+    return parse_trace(io.StringIO(text))
+
+
+def _parse_meta(lineno: int, fields: Iterable[str]) -> dict:
+    meta: dict = {}
+    for field in fields:
+        if "=" not in field:
+            raise TraceParseError(lineno, f"bad meta field {field!r}")
+        key, _, raw = field.partition("=")
+        value: object = raw
+        for conv in (int, float):
+            try:
+                value = conv(raw)
+                break
+            except ValueError:
+                continue
+        meta[key] = value
+    return meta
+
+
+def parse_trace(stream: IO[str]) -> Trace:
+    name: str | None = None
+    nranks = 0
+    meta: dict = {}
+    processes: list[ProcessTrace] = []
+    current: ProcessTrace | None = None
+
+    for lineno, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line or line.startswith("//"):
+            continue
+        if line.startswith(_HEADER):
+            fields = line.split()[1:]
+            parsed = _parse_meta(lineno, fields)
+            name = str(parsed.pop("name", None))
+            if name is None:
+                raise TraceParseError(lineno, "header missing name=")
+            nranks = int(parsed.pop("nranks", 0))
+            meta = parsed
+            continue
+        if line.startswith(_RANK):
+            parts = line.split()
+            if len(parts) != 2:
+                raise TraceParseError(lineno, "bad #RANK line")
+            rank = int(parts[1])
+            if rank != len(processes):
+                raise TraceParseError(
+                    lineno, f"ranks out of order: got {rank}, expected {len(processes)}"
+                )
+            current = ProcessTrace(rank)
+            processes.append(current)
+            continue
+        if current is None:
+            raise TraceParseError(lineno, "record before any #RANK line")
+        current.append(_parse_record(lineno, line))
+
+    if name is None:
+        raise TraceParseError(0, "missing #TRACE header")
+    if nranks and nranks != len(processes):
+        raise TraceParseError(
+            0, f"header declares {nranks} ranks but file contains {len(processes)}"
+        )
+    return Trace(name, processes, meta)
+
+
+def _parse_record(lineno: int, line: str) -> TraceRecord:
+    parts = line.split()
+    kind = parts[0]
+    try:
+        if kind == "C":
+            if len(parts) != 2:
+                raise ValueError("C record takes exactly one field")
+            return Compute(float(parts[1]))
+        if kind == "P":
+            if len(parts) not in (5, 7):
+                raise ValueError("P record takes 4 or 6 fields")
+            call = MPICall(int(parts[1]))
+            peer, size, tag = int(parts[2]), int(parts[3]), int(parts[4])
+            if len(parts) == 7:
+                rp = None if parts[5] == "-" else int(parts[5])
+                rs = None if parts[6] == "-" else int(parts[6])
+                return PointToPoint(
+                    call, peer, size, tag, recv_peer=rp, recv_size_bytes=rs
+                )
+            return PointToPoint(call, peer, size, tag)
+        if kind == "G":
+            if len(parts) != 4:
+                raise ValueError("G record takes exactly three fields")
+            return Collective(MPICall(int(parts[1])), int(parts[2]), int(parts[3]))
+        raise ValueError(f"unknown record kind {kind!r}")
+    except (ValueError, KeyError) as exc:
+        raise TraceParseError(lineno, str(exc)) from exc

@@ -1,0 +1,118 @@
+"""Descriptive statistics over traces and event streams.
+
+Small, composable helpers used by the experiment drivers and tests:
+per-rank call mixes, compute/communication ratios, and summaries of the
+inter-communication gap population that the PPA will face.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .events import Compute, MPICall, MPIEvent, idle_gaps
+from .trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class GapSummary:
+    """Five-number-plus summary of an idle-gap population (microseconds)."""
+
+    count: int
+    total_us: float
+    mean_us: float
+    median_us: float
+    p10_us: float
+    p90_us: float
+    min_us: float
+    max_us: float
+
+    @classmethod
+    def from_gaps(cls, gaps_us: Sequence[float] | np.ndarray) -> "GapSummary":
+        gaps = np.asarray(gaps_us, dtype=np.float64)
+        if gaps.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=int(gaps.size),
+            total_us=float(gaps.sum()),
+            mean_us=float(gaps.mean()),
+            median_us=float(np.median(gaps)),
+            p10_us=float(np.percentile(gaps, 10)),
+            p90_us=float(np.percentile(gaps, 90)),
+            min_us=float(gaps.min()),
+            max_us=float(gaps.max()),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSummary:
+    """Aggregate shape of a trace, before any simulation."""
+
+    name: str
+    nranks: int
+    total_records: int
+    total_mpi_calls: int
+    total_compute_us: float
+    total_bytes: int
+    call_mix: dict
+
+    @property
+    def mean_calls_per_rank(self) -> float:
+        return self.total_mpi_calls / self.nranks if self.nranks else 0.0
+
+
+def summarize_trace(trace: Trace) -> TraceSummary:
+    total_bytes = 0
+    for proc in trace.processes:
+        for rec in proc.records:
+            if isinstance(rec, Compute):
+                continue
+            size = getattr(rec, "size_bytes", 0)
+            total_bytes += int(size)
+    return TraceSummary(
+        name=trace.name,
+        nranks=trace.nranks,
+        total_records=trace.total_records,
+        total_mpi_calls=trace.total_mpi_calls,
+        total_compute_us=sum(p.total_compute_us for p in trace.processes),
+        total_bytes=total_bytes,
+        call_mix={c.name: n for c, n in sorted(trace.collective_counts().items())},
+    )
+
+
+def event_stream_gaps(streams: Sequence[Sequence[MPIEvent]]) -> list[np.ndarray]:
+    """Per-rank idle-gap arrays from timed event streams."""
+
+    return [np.asarray(idle_gaps(list(s)), dtype=np.float64) for s in streams]
+
+
+def communication_fraction(
+    events: Sequence[MPIEvent], t_end: float | None = None
+) -> float:
+    """Fraction of wall time this rank spends inside MPI calls.
+
+    ``t_end`` defaults to the exit of the last event; the window starts at
+    the entry of the first event so initialisation is excluded.
+    """
+
+    if not events:
+        return 0.0
+    start = events[0].enter_us
+    end = t_end if t_end is not None else events[-1].exit_us
+    if end <= start:
+        return 0.0
+    in_mpi = sum(e.duration_us for e in events)
+    return min(1.0, in_mpi / (end - start))
+
+
+def calls_per_second(events: Sequence[MPIEvent]) -> float:
+    """MPI call arrival rate over the active window, in calls/second."""
+
+    if len(events) < 2:
+        return 0.0
+    window_us = events[-1].exit_us - events[0].enter_us
+    if window_us <= 0:
+        return 0.0
+    return len(events) / (window_us / 1e6)

@@ -1,0 +1,162 @@
+"""Trace containers: per-rank record sequences and whole-application traces.
+
+A :class:`Trace` is the unit the Dimemas-style replay engine consumes.  It
+is deliberately dumb — validation plus convenient accessors — so that the
+workload generators, the serialisation layer and the simulator can share
+one representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from .events import Collective, Compute, MPICall, PointToPoint, TraceRecord
+
+
+@dataclass(slots=True)
+class ProcessTrace:
+    """The recorded activity of a single MPI rank."""
+
+    rank: int
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def append(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def compute(self, duration_us: float) -> None:
+        """Append a CPU burst (coalescing with a trailing burst)."""
+
+        if self.records and isinstance(self.records[-1], Compute):
+            prev = self.records.pop()
+            duration_us += prev.duration_us
+        self.records.append(Compute(duration_us))
+
+    @property
+    def mpi_calls(self) -> list[TraceRecord]:
+        return [r for r in self.records if not isinstance(r, Compute)]
+
+    @property
+    def total_compute_us(self) -> float:
+        return sum(r.duration_us for r in self.records if isinstance(r, Compute))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+
+@dataclass(slots=True)
+class Trace:
+    """A whole-application trace: one :class:`ProcessTrace` per rank.
+
+    ``name`` identifies the workload (e.g. ``"gromacs"``) and ``meta``
+    carries generator parameters so experiments can be reproduced from the
+    trace alone.
+    """
+
+    name: str
+    processes: list[ProcessTrace]
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for i, proc in enumerate(self.processes):
+            if proc.rank != i:
+                raise ValueError(
+                    f"process at index {i} has rank {proc.rank}; ranks must be "
+                    "dense and ordered"
+                )
+        self._validate_peers()
+
+    def _validate_peers(self) -> None:
+        n = len(self.processes)
+        for proc in self.processes:
+            for rec in proc.records:
+                if isinstance(rec, PointToPoint):
+                    if rec.peer >= n:
+                        raise ValueError(
+                            f"rank {proc.rank} references peer {rec.peer} "
+                            f"but the trace has only {n} ranks"
+                        )
+                    if rec.recv_peer is not None and rec.recv_peer >= n:
+                        raise ValueError(
+                            f"rank {proc.rank} receives from {rec.recv_peer} "
+                            f"but the trace has only {n} ranks"
+                        )
+                elif isinstance(rec, Collective):
+                    if rec.root >= n:
+                        raise ValueError(
+                            f"rank {proc.rank} collective rooted at {rec.root} "
+                            f"but the trace has only {n} ranks"
+                        )
+
+    @classmethod
+    def empty(cls, name: str, nranks: int, **meta) -> "Trace":
+        return cls(name, [ProcessTrace(r) for r in range(nranks)], dict(meta))
+
+    @property
+    def nranks(self) -> int:
+        return len(self.processes)
+
+    def __getitem__(self, rank: int) -> ProcessTrace:
+        return self.processes[rank]
+
+    def __iter__(self) -> Iterator[ProcessTrace]:
+        return iter(self.processes)
+
+    @property
+    def total_mpi_calls(self) -> int:
+        return sum(len(p.mpi_calls) for p in self.processes)
+
+    @property
+    def total_records(self) -> int:
+        return sum(len(p) for p in self.processes)
+
+    def collective_counts(self) -> dict[MPICall, int]:
+        """Histogram of MPI calls across all ranks (useful in tests)."""
+
+        counts: dict[MPICall, int] = {}
+        for proc in self.processes:
+            for rec in proc.mpi_calls:
+                call = rec.call  # type: ignore[union-attr]
+                counts[call] = counts.get(call, 0) + 1
+        return counts
+
+    def check_p2p_balance(self) -> list[str]:
+        """Verify every send has a matching receive (and vice versa).
+
+        Returns a list of human-readable problems; an empty list means the
+        trace is communication-balanced.  Sendrecv records contribute one
+        send and one receive.  Matching is by (src, dst, tag) multiset, the
+        same discipline the replay engine uses.
+        """
+
+        sends: dict[tuple[int, int, int], int] = {}
+        recvs: dict[tuple[int, int, int], int] = {}
+
+        def _bump(d: dict, key: tuple[int, int, int]) -> None:
+            d[key] = d.get(key, 0) + 1
+
+        for proc in self.processes:
+            for rec in proc.records:
+                if not isinstance(rec, PointToPoint):
+                    continue
+                if rec.call in (MPICall.SEND, MPICall.ISEND):
+                    _bump(sends, (proc.rank, rec.peer, rec.tag))
+                elif rec.call in (MPICall.RECV, MPICall.IRECV):
+                    _bump(recvs, (rec.peer, proc.rank, rec.tag))
+                elif rec.call in (MPICall.SENDRECV, MPICall.SENDRECV_REPLACE):
+                    _bump(sends, (proc.rank, rec.peer, rec.tag))
+                    src = rec.recv_peer if rec.recv_peer is not None else rec.peer
+                    _bump(recvs, (src, proc.rank, rec.tag))
+
+        problems: list[str] = []
+        for key in sorted(set(sends) | set(recvs)):
+            ns, nr = sends.get(key, 0), recvs.get(key, 0)
+            if ns != nr:
+                src, dst, tag = key
+                problems.append(
+                    f"{src}->{dst} tag={tag}: {ns} send(s) vs {nr} recv(s)"
+                )
+        return problems

@@ -1,0 +1,80 @@
+"""NAS BT (Block Tri-diagonal) trace generator.
+
+BT runs on a **square** number of processes (the paper uses 9, 16, 36,
+64, 100) arranged in a sqrt(P) x sqrt(P) grid and performs, per
+iteration, an Alternating Direction Implicit sweep: x-, y- and z-solve
+phases, each exchanging faces with the grid neighbours in one dimension
+around long dense-algebra compute blocks.
+
+BT is the paper's best case: near-perfect regularity (97-98 % hit rate)
+and the most compute-dominated timeline, giving the largest savings
+(51.3 % at 9 processes with 1 % displacement).  We reproduce both: fixed
+per-iteration structure with only log-normal compute jitter, and compute
+blocks that dwarf the face-exchange costs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import WorkloadSpec, grid_coords, grid_rank, make_builders
+from ..trace.trace import Trace
+
+
+def is_square(n: int) -> bool:
+    r = math.isqrt(n)
+    return r * r == n
+
+
+def build(spec: WorkloadSpec) -> Trace:
+    """Generate a NAS BT trace; ``spec.nranks`` must be a perfect square."""
+
+    if not is_square(spec.nranks):
+        raise ValueError(
+            f"NAS BT requires a square number of processes, got {spec.nranks}"
+        )
+    side = math.isqrt(spec.nranks)
+    trace = Trace.empty(
+        "nas_bt",
+        spec.nranks,
+        iterations=spec.iterations,
+        seed=spec.seed,
+        scaling=spec.scaling,
+        grid=side,
+    )
+    builders = make_builders(trace, spec)
+    # BT's reference size in the paper is 9 processes
+    ref = spec.reference_ranks if spec.reference_ranks else 9
+    cs = (ref / spec.nranks) if spec.scaling == "strong" else 1.0
+    ms = cs ** (2.0 / 3.0)
+
+    face_bytes = max(512, int(98_304 * ms))
+
+    for _it in range(spec.iterations):
+        for b in builders:
+            row, col = grid_coords(b.rank, side, side)
+            east = grid_rank(row, col + 1, side, side)
+            west = grid_rank(row, col - 1, side, side)
+            north = grid_rank(row + 1, col, side, side)
+            south = grid_rank(row - 1, col, side, side)
+
+            # x-solve: forward/backward substitution along the row
+            b.compute(3600.0 * cs)
+            b.sendrecv(east, west, face_bytes, tag=41)
+            b.compute(float(b.rng.uniform(3.0, 7.0)))
+            b.sendrecv(west, east, face_bytes, tag=42)
+            # y-solve: along the column
+            b.compute(3600.0 * cs)
+            b.sendrecv(north, south, face_bytes, tag=43)
+            b.compute(float(b.rng.uniform(3.0, 7.0)))
+            b.sendrecv(south, north, face_bytes, tag=44)
+            # z-solve: local in this decomposition, but faces still flow
+            # through the transposed exchange
+            b.compute(3600.0 * cs)
+            b.sendrecv(east, west, face_bytes // 2, tag=45)
+            b.compute(float(b.rng.uniform(3.0, 7.0)))
+            b.sendrecv(west, east, face_bytes // 2, tag=46)
+            # rhs update + residual
+            b.compute(2700.0 * cs)
+            b.allreduce(320)
+    return trace

@@ -1,0 +1,93 @@
+"""NAS MG (Multi-Grid) trace generator.
+
+MG's V-cycle gives it the most *geometric* idle-gap distribution of the
+five applications: each level of the grid hierarchy halves the mesh, so
+the compute time between halo exchanges shrinks ~8x per level.  The
+fine-grid smoother leaves long (>200 us) windows; mid levels leave gaps
+in the 20-200 us band — which is why MG owns the largest medium bucket in
+Table I (~37 % of intervals at 8 ranks) and why the paper's chosen GT for
+MG is far larger than for any other code (150-382 us): only a GT that
+swallows the unstable mid-level gaps keeps the grams consistent.
+
+Structure per V-cycle iteration:
+
+* pre-smoothing on the fine grid (long compute), then for each level
+  down to the coarsest: a 3-Sendrecv halo gram followed by a compute
+  burst that shrinks geometrically (and jitters substantially — the
+  pattern breaker when GT is chosen too small);
+* coarsest-level solve with an Allreduce;
+* the mirrored prolongation path back up;
+* post-smoothing (long compute) and a residual-norm Allreduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import WorkloadSpec, make_builders, ring_neighbors
+from ..trace.trace import Trace
+
+
+def build(spec: WorkloadSpec) -> Trace:
+    """Generate a NAS MG trace for ``spec``."""
+
+    trace = Trace.empty(
+        "nas_mg",
+        spec.nranks,
+        iterations=spec.iterations,
+        seed=spec.seed,
+        scaling=spec.scaling,
+    )
+    builders = make_builders(trace, spec)
+    cs = spec.compute_scale()
+    ms = spec.message_scale()
+
+    levels = 4
+    halo_bytes = [max(256, int(393_216 * ms) >> (2 * l)) for l in range(levels)]
+    # mid-level compute bursts jitter widely (50-260 us at the reference
+    # size): with a small GT the gram boundaries flip iteration to
+    # iteration; a large GT merges them (Section IV-C's story for MG)
+    level_compute = [4500.0, 150.0, 36.0, 9.0]
+
+    struct_rng = np.random.default_rng(spec.seed ^ 0x4D47)
+    extra_smooth = [struct_rng.random() < 0.12 for _ in range(spec.iterations)]
+
+    def halo(b, level: int, tag_base: int) -> None:
+        right, left = ring_neighbors(b.rank, spec.nranks)
+        b.sendrecv(right, left, halo_bytes[level], tag=tag_base)
+        b.compute(float(b.rng.uniform(2.0, 5.0)))
+        b.sendrecv(left, right, halo_bytes[level], tag=tag_base + 1)
+        b.compute(float(b.rng.uniform(2.0, 5.0)))
+        b.sendrecv(right, left, halo_bytes[level] // 2, tag=tag_base + 2)
+
+    for it in range(spec.iterations):
+        for b in builders:
+            # pre-smoothing on the fine grid
+            b.compute(3900.0 * cs)
+            # restriction: down the hierarchy
+            for level in range(levels):
+                halo(b, level, tag_base=100 + 10 * level)
+                mean = level_compute[level] * cs
+                if level in (1, 2):
+                    # the unstable mid-level bursts
+                    b.compute(float(b.rng.uniform(0.5 * mean, 1.9 * mean)))
+                else:
+                    b.compute(mean)
+            # coarsest solve
+            b.allreduce(512)
+            # prolongation: back up the hierarchy
+            for level in reversed(range(levels)):
+                halo(b, level, tag_base=200 + 10 * level)
+                mean = 0.6 * level_compute[level] * cs
+                if level in (1, 2):
+                    b.compute(float(b.rng.uniform(0.5 * mean, 1.9 * mean)))
+                else:
+                    b.compute(mean)
+            # post-smoothing + residual norm
+            b.compute(3300.0 * cs)
+            b.allreduce(512)
+        if extra_smooth[it]:
+            for b in builders:
+                halo(b, 0, tag_base=300)
+                b.compute(1560.0 * cs)
+    return trace

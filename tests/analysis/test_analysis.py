@@ -1,0 +1,86 @@
+"""Tests for the analysis helpers (Paraver timelines, ASCII figures)."""
+
+import pytest
+
+from repro.analysis.figures import hbar_chart, line_plot
+from repro.analysis.paraver import (
+    _bin_modes,
+    render_timeline,
+    residency_summary,
+    timeline_rows,
+)
+from repro.network.links import LinkPowerMode
+from repro.power.model import LinkEnergyAccount
+from repro.power.states import WRPSParams
+
+
+def account_with_cycle():
+    acc = LinkEnergyAccount(WRPSParams.paper())
+    acc.switch_mode(100.0, LinkPowerMode.TRANSITION)
+    acc.switch_mode(110.0, LinkPowerMode.LOW)
+    acc.switch_mode(500.0, LinkPowerMode.TRANSITION)
+    acc.switch_mode(510.0, LinkPowerMode.FULL)
+    acc.close(1000.0)
+    return acc
+
+
+class TestBinning:
+    def test_majority_mode(self):
+        acc = account_with_cycle()
+        modes = _bin_modes(acc.intervals, 1000.0, bins=10)
+        assert modes[0] is LinkPowerMode.FULL      # [0, 100) mostly full
+        assert modes[2] is LinkPowerMode.LOW       # [200, 300) all low
+        assert modes[9] is LinkPowerMode.FULL
+
+    def test_bin_count(self):
+        acc = account_with_cycle()
+        assert len(_bin_modes(acc.intervals, 1000.0, bins=37)) == 37
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            _bin_modes([], 10.0, bins=0)
+
+
+class TestTimeline:
+    def test_rows(self):
+        rows = timeline_rows([account_with_cycle()] * 3, 1000.0, bins=20)
+        assert len(rows) == 3
+        assert all(len(r.cells) == 20 for r in rows)
+        assert all("#" in r.cells for r in rows)
+        assert rows[0].low_residency_pct == pytest.approx(39.0)
+
+    def test_render_contains_legend_and_mean(self):
+        out = render_timeline([account_with_cycle()], 1000.0, bins=20)
+        assert "low power" in out
+        assert "mean low-power residency" in out
+        assert "rank   0" in out
+
+    def test_residency_summary_partitions(self):
+        res = residency_summary([account_with_cycle()] * 2)
+        assert sum(res.values()) == pytest.approx(1.0)
+        assert res["low"] == pytest.approx(0.39)
+
+
+class TestFigures:
+    def test_hbar_chart(self):
+        out = hbar_chart(
+            "savings", ["8", "16"],
+            {"GROMACS": [30.0, 25.0], "ALYA": [14.0, 12.0]},
+        )
+        assert "GROMACS" in out and "ALYA" in out
+        assert out.count("|") == 4
+
+    def test_hbar_scales_to_peak(self):
+        out = hbar_chart("t", ["a"], {"x": [50.0], "y": [100.0]}, width=10)
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_line_plot_renders(self):
+        out = line_plot("hit vs GT", [20, 100, 400],
+                        {"64": [40.0, 55.0, 35.0], "128": [42.0, 60.0, 30.0]})
+        assert "hit vs GT" in out
+        assert "o=64" in out and "x=128" in out
+
+    def test_line_plot_empty(self):
+        assert "(no data)" in line_plot("t", [], {})

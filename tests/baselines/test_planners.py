@@ -1,0 +1,103 @@
+"""Tests for the comparator policies (oracle and reactive planners)."""
+
+import pytest
+
+from repro.baselines import (
+    NEVER_US,
+    compare_policies,
+    oracle_directives,
+    reactive_directives,
+)
+from repro.power.states import WRPSParams
+from tests.conftest import alya_like_stream, make_event_stream
+from repro.trace.events import MPICall
+
+
+class TestOraclePlanner:
+    def test_plans_every_worthwhile_gap(self):
+        events = alya_like_stream(5)  # all inter-gram gaps 500us
+        (plan,) = oracle_directives([events])
+        # gaps below break-even (the 2us intra-gram ones) are skipped;
+        # each iteration has 3 worthwhile boundaries (after 3rd 41, after
+        # each 10), minus the final event which has no following gap
+        assert len(plan) == 5 * 3 - 1
+
+    def test_timer_exact(self):
+        events = make_event_stream([
+            (MPICall.SEND, 0.0), (MPICall.SEND, 300.0),
+        ])
+        (plan,) = oracle_directives([events])
+        d = plan[0]
+        assert d.shutdown_timer_us == pytest.approx(300.0 - 10.0)
+        assert d.shutdown_delay_us == 0.0
+        assert d.pre_overhead_us == 0.0  # no software costs
+
+    def test_skips_short_gaps(self):
+        events = make_event_stream([
+            (MPICall.SEND, 0.0), (MPICall.SEND, 15.0),
+        ])
+        (plan,) = oracle_directives([events])
+        assert plan == {}
+
+    def test_custom_wrps_breakeven(self):
+        events = make_event_stream([
+            (MPICall.SEND, 0.0), (MPICall.SEND, 300.0),
+        ])
+        deep = WRPSParams(t_react_us=200.0, t_deact_us=200.0)
+        (plan,) = oracle_directives([events], deep)
+        assert plan == {}  # 300us gap below 2*200us break-even
+
+
+class TestReactivePlanner:
+    def test_delay_and_never_timer(self):
+        events = make_event_stream([
+            (MPICall.SEND, 0.0), (MPICall.SEND, 300.0),
+        ])
+        (plan,) = reactive_directives([events])
+        d = plan[0]
+        assert d.shutdown_delay_us == pytest.approx(20.0)  # 2*T_react
+        assert d.shutdown_timer_us == NEVER_US
+
+    def test_custom_threshold(self):
+        events = make_event_stream([
+            (MPICall.SEND, 0.0), (MPICall.SEND, 300.0),
+            (MPICall.SEND, 100.0),
+        ])
+        (plan,) = reactive_directives([events], idle_threshold_us=150.0)
+        assert list(plan) == [0]  # only the 300us gap clears tau=150
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            reactive_directives([[]], idle_threshold_us=-1.0)
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def cmp(self):
+        return compare_policies("alya", 8, iterations=15)
+
+    def test_three_policies(self, cmp):
+        assert {o.policy for o in cmp.outcomes} == {
+            "ppa", "reactive", "oracle"
+        }
+
+    def test_oracle_dominates_ppa_savings(self, cmp):
+        assert cmp.by_name("oracle").savings_pct >= (
+            cmp.by_name("ppa").savings_pct - 0.5
+        )
+
+    def test_reactive_pays_more_penalty(self, cmp):
+        assert cmp.by_name("reactive").wake_penalty_us > (
+            cmp.by_name("ppa").wake_penalty_us
+        )
+
+    def test_oracle_near_zero_slowdown(self, cmp):
+        assert cmp.by_name("oracle").slowdown_pct < 0.3
+
+    def test_format(self, cmp):
+        text = cmp.format()
+        assert "policy" in text and "oracle" in text
+
+    def test_unknown_policy_raises(self, cmp):
+        with pytest.raises(KeyError):
+            cmp.by_name("dvfs")

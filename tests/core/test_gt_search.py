@@ -1,0 +1,89 @@
+"""Tests for grouping-threshold evaluation and selection (Section IV-C)."""
+
+import pytest
+
+from repro.constants import MIN_GROUPING_THRESHOLD_US
+from repro.core.gt_search import (
+    default_gt_candidates,
+    evaluate_gt,
+    gt_sweep,
+    select_gt,
+)
+from tests.conftest import alya_like_stream, make_event_stream
+from repro.trace.events import MPICall
+
+
+class TestCandidates:
+    def test_range_and_minimum(self):
+        cands = default_gt_candidates()
+        assert cands[0] == MIN_GROUPING_THRESHOLD_US
+        assert cands[-1] <= 400.0
+        assert all(a < b for a, b in zip(cands, cands[1:]))
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValueError):
+            default_gt_candidates(low_us=10.0)
+
+
+class TestEvaluate:
+    def test_regular_stream_high_hit(self):
+        ev = evaluate_gt([alya_like_stream(20)], 20.0)
+        assert ev.hit_rate_pct > 70.0
+        assert ev.total_calls == 100
+        assert ev.shutdowns_planned > 0
+        assert ev.pattern_mispredictions == 0
+
+    def test_gt_merging_changes_gram_count(self):
+        logs = [alya_like_stream(10, intra_gap=2.0, inter_gap=100.0)]
+        fine = evaluate_gt(logs, 20.0)
+        coarse = evaluate_gt(logs, 150.0)  # merges everything
+        assert coarse.grams_total < fine.grams_total
+
+    def test_aggregates_over_ranks(self):
+        one = evaluate_gt([alya_like_stream(10)], 20.0)
+        two = evaluate_gt([alya_like_stream(10)] * 2, 20.0)
+        assert two.total_calls == 2 * one.total_calls
+        assert two.hit_rate_pct == pytest.approx(one.hit_rate_pct)
+
+
+class TestSelect:
+    def test_select_prefers_stable_gt(self):
+        """Jittery sub-gaps around 20us: a larger GT must win."""
+
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        pattern = []
+        for _ in range(25):
+            # gram of 3 calls whose internal gaps jitter across 20us
+            pattern.append((MPICall.SENDRECV, 500.0))
+            pattern.append((MPICall.SENDRECV, float(rng.uniform(10.0, 30.0))))
+            pattern.append((MPICall.SENDRECV, float(rng.uniform(10.0, 30.0))))
+            pattern.append((MPICall.ALLREDUCE, 500.0))
+        events = make_event_stream(pattern)
+        best = select_gt([events], candidates=[20.0, 40.0])
+        assert best.gt_us == 40.0
+
+    def test_tie_prefers_smaller(self):
+        logs = [alya_like_stream(15)]
+        best = select_gt(logs, candidates=[20.0, 100.0, 200.0])
+        # perfectly stable stream: all GTs below 500 are equivalent
+        assert best.gt_us == 20.0
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            select_gt([alya_like_stream(4)], candidates=[])
+
+
+class TestSweep:
+    def test_sweep_shape(self):
+        logs = [alya_like_stream(10)]
+        sweep = gt_sweep(logs, candidates=[20.0, 50.0, 100.0])
+        assert [e.gt_us for e in sweep] == [20.0, 50.0, 100.0]
+
+    def test_max_ranks_sampling(self):
+        logs = [alya_like_stream(10)] * 8
+        full = gt_sweep(logs, candidates=[20.0])
+        sampled = gt_sweep(logs, candidates=[20.0], max_ranks=2)
+        assert sampled[0].total_calls < full[0].total_calls
+        assert sampled[0].hit_rate_pct == pytest.approx(full[0].hit_rate_pct)

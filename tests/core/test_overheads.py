@@ -1,0 +1,46 @@
+"""Tests for the instrumentation overhead model (Table IV machinery)."""
+
+import pytest
+
+from repro.core.overheads import OverheadModel, OverheadReport
+
+
+class TestModel:
+    def test_defaults(self):
+        m = OverheadModel()
+        assert m.intercept_us == pytest.approx(1.0)
+        assert m.ppa_cost_us(4) == pytest.approx(4 * m.per_op_us)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OverheadModel(intercept_us=-1.0)
+        with pytest.raises(ValueError):
+            OverheadModel(per_op_us=-0.1)
+
+
+class TestReport:
+    def test_from_counts(self):
+        r = OverheadReport.from_counts(
+            total_calls=1000, invoked_calls=21, ppa_overhead_us=21 * 16.5
+        )
+        assert r.ppa_call_fraction_pct == pytest.approx(2.1)
+        assert r.per_invoked_call_us == pytest.approx(16.5)
+        # paper's Table IV amortised ~1.3us: intercept + amortised PPA
+        assert r.per_all_calls_us == pytest.approx(1.0 + 21 * 16.5 / 1000)
+
+    def test_zero_calls(self):
+        r = OverheadReport.from_counts(0, 0, 0.0)
+        assert r.per_all_calls_us == 0.0
+
+    def test_no_ppa_invocations(self):
+        r = OverheadReport.from_counts(100, 0, 0.0)
+        assert r.per_invoked_call_us == 0.0
+        assert r.per_all_calls_us == pytest.approx(1.0)
+
+    def test_paper_band(self):
+        """Default per-op cost keeps per-invocation overheads in the
+        paper's 7-26 us band for typical operation counts (3-10 ops)."""
+
+        m = OverheadModel()
+        for ops in range(3, 11):
+            assert 7.0 <= m.ppa_cost_us(ops) <= 26.0

@@ -1,0 +1,124 @@
+"""Tests for pattern records and the pattern list."""
+
+import pytest
+
+from repro.core.grams import Gram
+from repro.core.patterns import (
+    GapEstimator,
+    PatternList,
+    PatternRecord,
+    format_pattern,
+    pattern_key,
+)
+
+
+def key2():
+    return ((41, 41), (10,))
+
+
+class TestPatternKey:
+    def test_from_grams(self):
+        grams = [Gram((41, 41), 0, 1, 0, 1), Gram((10,), 2, 3, 2, 2)]
+        assert pattern_key(grams) == key2()
+
+    def test_from_raw(self):
+        assert pattern_key([(41, 41), (10,)]) == key2()
+
+    def test_format(self):
+        assert format_pattern(((41, 41, 41), (10,), (10,))) == "41-41-41_10_10"
+
+
+class TestGapEstimator:
+    def test_first_observation(self):
+        est = GapEstimator()
+        assert not est.is_ready
+        est.update(100.0)
+        assert est.value_us == pytest.approx(100.0)
+        assert est.is_ready
+
+    def test_ewma(self):
+        est = GapEstimator(alpha=0.5)
+        est.update(100.0)
+        est.update(200.0)
+        assert est.value_us == pytest.approx(150.0)
+        est.update(150.0)
+        assert est.value_us == pytest.approx(150.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GapEstimator().update(-1.0)
+
+
+class TestPatternRecord:
+    def test_occurrences(self):
+        rec = PatternRecord(key=key2())
+        rec.record_occurrence(3)
+        rec.record_occurrence(5)
+        rec.record_occurrence(5)  # duplicate position: freq only
+        assert rec.frequency == 3
+        assert rec.positions == [3, 5]
+
+    def test_consecutive_pairs_trailing_run(self):
+        rec = PatternRecord(key=key2())  # size 2
+        for pos in (0, 2, 4):
+            rec.record_occurrence(pos)
+        assert rec.consecutive_pairs() == 2
+        rec.record_occurrence(9)   # breaks the run
+        assert rec.consecutive_pairs() == 0
+        rec.record_occurrence(11)
+        assert rec.consecutive_pairs() == 1
+
+    def test_gap_observation_wraps(self):
+        rec = PatternRecord(key=key2())
+        rec.observe_gap(0, 100.0)
+        rec.observe_gap(2, 300.0)  # wraps to boundary 0
+        assert rec.predicted_gap_us(0) == pytest.approx(200.0)
+        assert rec.predicted_gap_us(1) is None
+
+    def test_n_mpi_calls(self):
+        rec = PatternRecord(key=((41, 41, 41), (10,), (10,)))
+        assert rec.n_mpi_calls == 5
+        assert rec.size == 3
+
+
+class TestPatternList:
+    def test_update_insert_and_match(self):
+        pl = PatternList()
+        rec, new = pl.update(key2(), 0)
+        assert new and rec.frequency == 1
+        rec2, new2 = pl.update(key2(), 3)
+        assert not new2 and rec2 is rec
+        assert rec.positions == [0, 3]
+        assert len(pl) == 1
+
+    def test_operations_counted(self):
+        pl = PatternList()
+        pl.update(key2(), 0)
+        pl.get(key2())
+        pl.bump_frequency(key2(), 1)
+        pl.remove(key2())
+        assert pl.operations == 4
+        assert len(pl) == 0
+
+    def test_bump_clamps_at_zero(self):
+        pl = PatternList()
+        pl.update(key2(), 0)
+        pl.bump_frequency(key2(), -5)
+        assert pl.get(key2()).frequency == 0
+
+    def test_bump_missing_noop(self):
+        pl = PatternList()
+        pl.bump_frequency(key2(), 1)  # no error
+        assert key2() not in pl
+
+    def test_detected_listing(self):
+        pl = PatternList()
+        rec, _ = pl.update(key2(), 0)
+        assert pl.detected_patterns() == []
+        rec.detected = True
+        assert pl.detected_patterns() == [rec]
+
+    def test_gap_alpha_propagates(self):
+        pl = PatternList(gap_alpha=0.25)
+        rec, _ = pl.update(key2(), 0)
+        assert all(est.alpha == 0.25 for est in rec.gap_after)

@@ -1,0 +1,127 @@
+"""Tests for power-mode control (Algorithm 3)."""
+
+import pytest
+
+from repro.core.patterns import PatternRecord
+from repro.core.powerctl import (
+    GramCheck,
+    PowerControlConfig,
+    PowerModeMonitor,
+)
+
+
+def make_monitor(displacement=0.10, gt=20.0, gaps=(500.0, 500.0)):
+    rec = PatternRecord(key=((41, 41, 41), (10,)))
+    for boundary, gap in enumerate(gaps):
+        rec.observe_gap(boundary, gap)
+    cfg = PowerControlConfig(
+        displacement=displacement, gt_us=gt, t_react_us=10.0, t_deact_us=10.0
+    )
+    return PowerModeMonitor(rec, cfg)
+
+
+class TestConfig:
+    def test_rejects_bad_displacement(self):
+        with pytest.raises(ValueError):
+            PowerControlConfig(1.0, 20.0, 10.0, 10.0)
+        with pytest.raises(ValueError):
+            PowerControlConfig(-0.1, 20.0, 10.0, 10.0)
+
+    def test_rejects_gt_below_breakeven(self):
+        with pytest.raises(ValueError):
+            PowerControlConfig(0.1, 19.0, 10.0, 10.0)
+
+
+class TestGramTracking:
+    def test_full_cycle(self):
+        m = make_monitor()
+        assert m.feed_call(41) is GramCheck.MATCH_PARTIAL
+        assert m.feed_call(41) is GramCheck.MATCH_PARTIAL
+        assert m.feed_call(41) is GramCheck.MATCH_COMPLETE
+        assert m.begin_new_gram(500.0)
+        assert m.feed_call(10) is GramCheck.MATCH_COMPLETE
+        assert m.begin_new_gram(500.0)
+        assert m.cycle_pos == 0
+        assert m.grams_matched == 2
+        assert m.calls_matched == 4
+
+    def test_wrong_call_id_mismatch(self):
+        m = make_monitor()
+        assert m.feed_call(41) is GramCheck.MATCH_PARTIAL
+        assert m.feed_call(10) is GramCheck.MISMATCH
+
+    def test_gram_ends_early_mismatch(self):
+        m = make_monitor()
+        m.feed_call(41)
+        m.feed_call(41)
+        # a >= GT gap appears before the third 41
+        assert not m.begin_new_gram(300.0)
+
+    def test_gram_runs_long_mismatch(self):
+        m = make_monitor()
+        m.feed_call(41)
+        m.feed_call(41)
+        m.feed_call(41)  # complete
+        # next call arrives *without* a gram boundary
+        assert m.feed_call(10) is GramCheck.MISMATCH
+
+    def test_boundary_gap_updates_estimator(self):
+        m = make_monitor(gaps=(500.0, 500.0))
+        for _ in range(3):
+            m.feed_call(41)
+        m.begin_new_gram(700.0)  # boundary 0: EWMA 0.5*700+0.5*500
+        assert m.record.predicted_gap_us(0) == pytest.approx(600.0)
+
+
+class TestShutdownPlanning:
+    def test_plan_after_complete(self):
+        m = make_monitor(displacement=0.10)
+        for _ in range(3):
+            m.feed_call(41)
+        plan = m.plan_shutdown()
+        assert plan is not None
+        # Algorithm 3: timer = idle - (idle*disp + T_react)
+        assert plan.timer_us == pytest.approx(500.0 - (50.0 + 10.0))
+        assert plan.predicted_idle_us == pytest.approx(500.0)
+        assert plan.boundary == 0
+
+    def test_displacement_shrinks_timer(self):
+        timers = []
+        for disp in (0.01, 0.05, 0.10):
+            m = make_monitor(displacement=disp)
+            for _ in range(3):
+                m.feed_call(41)
+            timers.append(m.plan_shutdown().timer_us)
+        assert timers[0] > timers[1] > timers[2]
+
+    def test_no_plan_without_estimate(self):
+        m = make_monitor(gaps=())  # no boundary knowledge at all
+        for _ in range(3):
+            m.feed_call(41)
+        assert m.plan_shutdown() is None
+
+    def test_no_plan_below_breakeven(self):
+        m = make_monitor(gaps=(19.0, 19.0), gt=20.0)
+        for _ in range(3):
+            m.feed_call(41)
+        assert m.plan_shutdown() is None
+
+    def test_no_plan_below_gt(self):
+        m = make_monitor(gaps=(30.0, 30.0), gt=40.0)
+        for _ in range(3):
+            m.feed_call(41)
+        assert m.plan_shutdown() is None
+
+    def test_no_plan_when_timer_too_small(self):
+        # idle barely above breakeven: timer <= t_deact
+        m = make_monitor(gaps=(20.1, 20.1), gt=20.0, displacement=0.01)
+        for _ in range(3):
+            m.feed_call(41)
+        assert m.plan_shutdown() is None
+
+    def test_counter(self):
+        m = make_monitor()
+        for _ in range(3):
+            m.feed_call(41)
+        m.plan_shutdown()
+        assert m.shutdowns_planned == 1

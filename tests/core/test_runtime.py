@@ -1,0 +1,143 @@
+"""Tests for the PMPI interposition runtime."""
+
+import pytest
+
+from repro.core.overheads import OverheadModel
+from repro.core.runtime import (
+    PMPIRuntime,
+    RuntimeConfig,
+    plan_trace_directives,
+)
+from tests.conftest import alya_like_stream, make_event_stream
+from repro.trace.events import MPICall
+
+
+def run_runtime(events, *, gt=20.0, displacement=0.10, charge=True):
+    cfg = RuntimeConfig(gt_us=gt, displacement=displacement,
+                        charge_overheads=charge)
+    rt = PMPIRuntime(cfg)
+    directives = rt.process_stream(events)
+    return rt, directives
+
+
+class TestEndToEnd:
+    def test_alya_predicts_and_plans(self):
+        rt, directives = run_runtime(alya_like_stream(10))
+        s = rt.stats
+        assert s.declarations == 1
+        assert s.pattern_mispredictions == 0
+        assert s.predicted_calls > 0
+        assert s.shutdowns_planned > 0
+        timers = [d.shutdown_timer_us for d in directives.values()
+                  if d.shutdown_timer_us is not None]
+        assert timers
+        # Algorithm 3 with 10% displacement on ~500us gaps
+        for t in timers:
+            assert t == pytest.approx(440.0, rel=0.1)
+
+    def test_shutdowns_attach_to_gram_last_calls(self):
+        events = alya_like_stream(10)
+        rt, directives = run_runtime(events)
+        # in the (41,41,41)(10)(10) cycle, shutdown indices must be the
+        # last 41 of each triple or a 10 — never the 1st/2nd 41
+        for idx, d in directives.items():
+            if d.shutdown_timer_us is None:
+                continue
+            call = events[idx].call
+            if call == MPICall.SENDRECV:
+                assert events[idx + 1].call == MPICall.ALLREDUCE
+
+    def test_intercept_overhead_on_every_call(self):
+        events = alya_like_stream(4)
+        rt, directives = run_runtime(events)
+        assert rt.stats.intercept_overhead_us == pytest.approx(len(events))
+        for idx in range(len(events)):
+            assert directives[idx].pre_overhead_us >= 1.0
+
+    def test_no_overheads_when_disabled(self):
+        rt, directives = run_runtime(alya_like_stream(8), charge=False)
+        assert rt.stats.intercept_overhead_us == 0.0
+        assert all(d.pre_overhead_us == 0.0 for d in directives.values())
+        # shutdown directives still planned
+        assert rt.stats.shutdowns_planned > 0
+
+    def test_ppa_overhead_only_while_learning(self):
+        events = alya_like_stream(12)
+        rt, directives = run_runtime(events)
+        s = rt.stats
+        assert 0 < s.ppa_invoked_calls < s.total_calls
+        # once predicting, no more PPA ops: the invoked calls must all be
+        # in the learning prefix (before event 21 for this stream)
+        invoked = [i for i, d in directives.items() if d.post_overhead_us > 0]
+        assert max(invoked) <= 21
+
+    def test_hit_rate_increases_with_length(self):
+        short = run_runtime(alya_like_stream(6))[0].stats.hit_rate_pct
+        long = run_runtime(alya_like_stream(30))[0].stats.hit_rate_pct
+        assert long > short
+
+
+class TestMisprediction:
+    def _stream_with_break(self):
+        """Regular iterations, one deviant iteration, then regular."""
+
+        base = alya_like_stream(8)
+        deviant = make_event_stream(
+            [(MPICall.BARRIER, 500.0), (MPICall.BCAST, 500.0)],
+            start_us=base[-1].exit_us,
+        )
+        resumed = []
+        t = deviant[-1].exit_us
+        resumed_events = alya_like_stream(8)
+        # shift the resumed block after the deviant one
+        from repro.trace.events import MPIEvent
+        for ev in resumed_events:
+            resumed.append(
+                MPIEvent(ev.call, ev.enter_us + t + 500.0,
+                         ev.exit_us + t + 500.0)
+            )
+        return base + deviant + resumed
+
+    def test_break_triggers_misprediction_and_rearm(self):
+        rt, _ = run_runtime(self._stream_with_break())
+        s = rt.stats
+        assert s.pattern_mispredictions >= 1
+        assert s.declarations >= 2   # initial + re-arm
+        assert s.fast_rearms >= 1
+
+    def test_predicting_resumes_after_break(self):
+        rt, _ = run_runtime(self._stream_with_break())
+        assert rt.predicting
+
+
+class TestPlanTraceDirectives:
+    def test_shared_config(self):
+        logs = [alya_like_stream(6), alya_like_stream(6)]
+        cfg = RuntimeConfig(gt_us=20.0, displacement=0.05)
+        directives, stats = plan_trace_directives(logs, cfg)
+        assert len(directives) == 2
+        assert len(stats) == 2
+        assert stats[0].total_calls == len(logs[0])
+
+    def test_per_rank_configs(self):
+        logs = [alya_like_stream(6), alya_like_stream(6)]
+        cfgs = [RuntimeConfig(gt_us=20.0, displacement=0.05),
+                RuntimeConfig(gt_us=40.0, displacement=0.05)]
+        directives, stats = plan_trace_directives(logs, cfgs)
+        assert len(directives) == 2
+
+    def test_config_count_mismatch(self):
+        logs = [alya_like_stream(2)]
+        cfgs = [RuntimeConfig(gt_us=20.0)] * 2
+        with pytest.raises(ValueError):
+            plan_trace_directives(logs, cfgs)
+
+
+class TestOverheadReport:
+    def test_table4_shape(self):
+        rt, _ = run_runtime(alya_like_stream(20))
+        report = rt.stats.overhead_report(OverheadModel())
+        assert 0.0 < report.ppa_call_fraction_pct < 100.0
+        assert report.per_invoked_call_us > 0.0
+        assert report.per_all_calls_us >= 1.0  # at least interception
+        assert report.total_calls == 100

@@ -1,0 +1,130 @@
+"""Tests for up*/down* routing over XGFTs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.routing import (
+    DeterministicRouter,
+    RandomRouter,
+    hop_count,
+    host_subtree,
+    lca_height,
+    path_links,
+)
+from repro.network.topology import XGFTSpec, build_xgft, paper_topology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return paper_topology()
+
+
+def _assert_updown(path):
+    """A valid fat-tree path ascends then descends exactly once."""
+
+    levels = [n.level for n in path]
+    peak = max(levels)
+    peak_idx = levels.index(peak)
+    assert levels[:peak_idx + 1] == sorted(levels[:peak_idx + 1])
+    assert levels[peak_idx:] == sorted(levels[peak_idx:], reverse=True)
+
+
+class TestSubtrees:
+    def test_host_subtree(self):
+        spec = XGFTSpec.paper_default()
+        assert host_subtree(spec, 0, 1) == 0
+        assert host_subtree(spec, 17, 1) == 0
+        assert host_subtree(spec, 18, 1) == 1
+        # height 2: everything is one tree
+        assert host_subtree(spec, 200, 2) == 0
+
+    def test_lca_same_leaf(self):
+        spec = XGFTSpec.paper_default()
+        assert lca_height(spec, 0, 17) == 1
+        assert lca_height(spec, 0, 18) == 2
+        assert lca_height(spec, 5, 5) == 0
+
+
+class TestDeterministicRouting:
+    def test_same_host(self, topo):
+        r = DeterministicRouter(topo)
+        assert r.route(3, 3) == [topo.host(3)]
+
+    def test_same_leaf_two_hops(self, topo):
+        r = DeterministicRouter(topo)
+        path = r.route(0, 1)
+        assert hop_count(path) == 2
+        assert path[0] == topo.host(0)
+        assert path[-1] == topo.host(1)
+        assert path[1].level == 1
+
+    def test_cross_leaf_four_hops(self, topo):
+        r = DeterministicRouter(topo)
+        path = r.route(0, 30)
+        assert hop_count(path) == 4
+        _assert_updown(path)
+
+    def test_deterministic(self, topo):
+        r = DeterministicRouter(topo)
+        assert r.route(2, 200) == r.route(2, 200)
+
+    def test_path_edges_exist(self, topo):
+        r = DeterministicRouter(topo)
+        path = r.route(7, 249)
+        for a, b in path_links(path):
+            assert b in topo.adjacency[a]
+
+
+class TestRandomRouting:
+    def test_seeded_reproducible(self, topo):
+        r1 = RandomRouter.seeded(topo, 42)
+        r2 = RandomRouter.seeded(topo, 42)
+        for _ in range(10):
+            assert r1.route(1, 100) == r2.route(1, 100)
+
+    def test_spine_diversity(self, topo):
+        r = RandomRouter.seeded(topo, 0)
+        spines = {r.route(0, 30)[2] for _ in range(60)}
+        # random routing should use many of the 18 spines
+        assert len(spines) >= 6
+
+    def test_valid_endpoints(self, topo):
+        r = RandomRouter.seeded(topo, 1)
+        for src, dst in [(0, 251), (10, 20), (35, 36)]:
+            path = r.route(src, dst)
+            assert path[0] == topo.host(src)
+            assert path[-1] == topo.host(dst)
+            _assert_updown(path)
+
+
+class TestThreeLevelRouting:
+    def test_routes_in_deeper_tree(self):
+        topo3 = build_xgft(XGFTSpec((2, 2, 2), (1, 2, 2)))
+        r = DeterministicRouter(topo3)
+        for src in range(topo3.num_hosts):
+            for dst in range(topo3.num_hosts):
+                path = r.route(src, dst)
+                assert path[0].index == src
+                assert path[-1].index == dst
+                _assert_updown(path)
+                for a, b in path_links(path):
+                    assert b in topo3.adjacency[a]
+
+
+@given(
+    src=st.integers(0, 251),
+    dst=st.integers(0, 251),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_random_routes_always_valid(src, dst, seed):
+    topo = paper_topology()
+    r = RandomRouter.seeded(topo, seed)
+    path = r.route(src, dst)
+    assert path[0] == topo.host(src)
+    assert path[-1] == topo.host(dst)
+    if src != dst:
+        assert hop_count(path) in (2, 4)
+        _assert_updown(path)
+        for a, b in path_links(path):
+            assert b in topo.adjacency[a]

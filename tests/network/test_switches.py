@@ -1,0 +1,36 @@
+"""Tests for the switch model."""
+
+import pytest
+
+from repro.network.links import Link
+from repro.network.switches import Switch
+from repro.network.topology import NodeId
+
+
+def test_attach_and_radix():
+    sw = Switch(NodeId(1, 0))
+    host_link = Link(NodeId(0, 0), NodeId(1, 0))
+    trunk = Link(NodeId(1, 0), NodeId(2, 0))
+    sw.attach(host_link)
+    sw.attach(trunk)
+    assert sw.radix == 2
+    assert sw.host_ports() == [host_link]
+    assert sw.trunk_ports() == [trunk]
+
+
+def test_attach_wrong_switch_rejected():
+    sw = Switch(NodeId(1, 5))
+    link = Link(NodeId(0, 0), NodeId(1, 0))
+    with pytest.raises(ValueError):
+        sw.attach(link)
+
+
+def test_counters_and_reset():
+    sw = Switch(NodeId(1, 0))
+    sw.record_forward(1024)
+    sw.record_forward(2048)
+    assert sw.messages_forwarded == 2
+    assert sw.bytes_switched == 3072
+    sw.reset()
+    assert sw.messages_forwarded == 0
+    assert sw.bytes_switched == 0

@@ -1,0 +1,116 @@
+"""Tests for XGFT topology construction."""
+
+import pytest
+
+from repro.network.topology import (
+    NodeId,
+    XGFTSpec,
+    build_xgft,
+    fitted_topology,
+    paper_topology,
+)
+
+
+class TestSpec:
+    def test_paper_spec_counts(self):
+        spec = XGFTSpec.paper_default()
+        assert spec.height == 2
+        assert spec.num_hosts == 18 * 14
+        assert spec.switches_at_level(1) == 14          # leaf switches
+        assert spec.switches_at_level(2) == 18          # spines
+        assert spec.num_switches == 32
+
+    def test_rejects_mismatched_arities(self):
+        with pytest.raises(ValueError):
+            XGFTSpec((2, 3), (1,))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            XGFTSpec((0, 2), (1, 1))
+
+    def test_two_level_helper(self):
+        spec = XGFTSpec.two_level(4, 3, 2)
+        assert spec.num_hosts == 12
+        assert spec.switches_at_level(1) == 3
+        assert spec.switches_at_level(2) == 2
+
+    def test_level_out_of_range(self):
+        spec = XGFTSpec.two_level(2, 2, 1)
+        with pytest.raises(ValueError):
+            spec.switches_at_level(3)
+
+
+class TestBuild:
+    def test_paper_topology_structure(self):
+        topo = paper_topology()
+        assert topo.num_hosts == 252
+        assert len(topo.switches) == 32
+        # every host has exactly one uplink
+        for host in topo.hosts:
+            assert len(topo.up_neighbors(host)) == 1
+        # every leaf connects to all 18 spines + 18 hosts
+        for leaf in (s for s in topo.switches if s.level == 1):
+            ups = topo.up_neighbors(leaf)
+            downs = topo.down_neighbors(leaf)
+            assert len(ups) == 18
+            assert len(downs) == 18
+
+    def test_spine_down_degree(self):
+        topo = paper_topology()
+        for spine in (s for s in topo.switches if s.level == 2):
+            assert len(topo.down_neighbors(spine)) == 14
+            assert topo.up_neighbors(spine) == []
+
+    def test_edge_count(self):
+        topo = paper_topology()
+        # 252 host links + 14*18 leaf-spine links
+        assert len(topo.edges) == 252 + 14 * 18
+
+    def test_no_duplicate_edges(self):
+        topo = build_xgft(XGFTSpec.two_level(3, 4, 2))
+        topo.validate()
+
+    def test_small_tree(self):
+        topo = build_xgft(XGFTSpec.two_level(2, 2, 2))
+        assert topo.num_hosts == 4
+        for leaf in (s for s in topo.switches if s.level == 1):
+            assert len(topo.down_neighbors(leaf)) == 2
+            assert len(topo.up_neighbors(leaf)) == 2
+
+    def test_three_level(self):
+        spec = XGFTSpec((2, 2, 2), (1, 2, 2))
+        topo = build_xgft(spec)
+        assert topo.num_hosts == 8
+        topo.validate()
+        # level-3 switches: w1*w2*w3 = 4 per group, m-free at top
+        assert spec.switches_at_level(3) == 4
+
+
+class TestFitted:
+    def test_small_run_fits(self):
+        topo = fitted_topology(8)
+        assert topo.num_hosts >= 8
+        # stays two-level
+        assert max(s.level for s in topo.switches) == 2
+
+    def test_128_fits(self):
+        topo = fitted_topology(128)
+        assert topo.num_hosts >= 128
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            fitted_topology(0)
+
+    def test_single_host(self):
+        topo = fitted_topology(1)
+        assert topo.num_hosts >= 1
+
+
+class TestNodeId:
+    def test_ordering_and_str(self):
+        h = NodeId(0, 3)
+        s = NodeId(1, 0)
+        assert h.is_host and not s.is_host
+        assert str(h) == "h3"
+        assert str(s) == "s1.0"
+        assert h < s

@@ -1,0 +1,72 @@
+"""Property-based tests of the ManagedLink state machine.
+
+Under arbitrary interleavings of shutdown directives and transfer
+requests (with non-decreasing timestamps, as the DES guarantees), the
+controller must preserve physical invariants: the energy account always
+partitions the wall clock, reactivation penalties never exceed the
+deactivation+reactivation bound, and a request always returns a usable
+time at or after the request.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.links import Link, LinkPowerMode
+from repro.network.topology import NodeId
+from repro.power.controller import ManagedLink
+from repro.power.states import WRPSParams
+
+
+@st.composite
+def op_sequences(draw):
+    """Sequences of (dt, op, value) with op in {shutdown, request}."""
+
+    n = draw(st.integers(1, 40))
+    ops = []
+    for _ in range(n):
+        dt = draw(st.floats(min_value=0.0, max_value=500.0,
+                            allow_nan=False))
+        kind = draw(st.sampled_from(["shutdown", "request"]))
+        timer = draw(st.floats(min_value=1.0, max_value=2000.0,
+                               allow_nan=False))
+        ops.append((dt, kind, timer))
+    return ops
+
+
+@given(ops=op_sequences())
+@settings(max_examples=120, deadline=None)
+def test_controller_invariants(ops):
+    link = Link(NodeId(0, 0), NodeId(1, 0))
+    ml = ManagedLink.create(link, WRPSParams.paper())
+    t = 0.0
+    last_ready = 0.0
+    for dt, kind, timer in ops:
+        # requests must respect causality with previously returned ready
+        # times (the fabric never sends on a link before it is usable)
+        t = max(t + dt, last_ready)
+        if kind == "shutdown":
+            ml.shutdown(t, timer)
+        else:
+            ready = ml.request_full(t)
+            assert ready >= t
+            # a single emergency wake never costs more than deact+react
+            assert ready - t <= ml.params.t_deact_us + ml.params.t_react_us + 1e-9
+            last_ready = ready
+    end = t + 5000.0
+    ml.finish(end)
+
+    acc = ml.account
+    # the timeline partitions [0, end]
+    assert acc.total_us == pytest.approx(end)
+    covered = sum(acc.residency_us(m) for m in LinkPowerMode)
+    assert covered == pytest.approx(end)
+    # intervals are contiguous and ordered
+    cursor = 0.0
+    for iv in acc.intervals:
+        assert iv.start_us == pytest.approx(cursor)
+        assert iv.end_us >= iv.start_us
+        cursor = iv.end_us
+    # energy bounded between all-LOW and all-FULL
+    assert 0.43 * end - 1e-6 <= acc.energy() <= end + 1e-6
+    # every committed shutdown contributes at least one LOW transition
+    assert acc.transitions_to_low == ml.counters.shutdowns

@@ -1,0 +1,243 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import AllOf, Delay, Engine, Signal, SimulationError
+
+
+class TestDelay:
+    def test_single_process_advances_clock(self):
+        eng = Engine()
+        log = []
+
+        def proc():
+            yield Delay(5.0)
+            log.append(eng.now)
+            yield Delay(2.5)
+            log.append(eng.now)
+
+        eng.spawn(proc())
+        end = eng.run()
+        assert log == [5.0, 7.5]
+        assert end == 7.5
+
+    def test_zero_delay_ok(self):
+        eng = Engine()
+
+        def proc():
+            yield Delay(0.0)
+
+        eng.spawn(proc())
+        assert eng.run() == 0.0
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+
+        def proc():
+            yield Delay(-1.0)
+
+        eng.spawn(proc())
+        with pytest.raises(SimulationError):
+            eng.run()
+
+    def test_interleaving_deterministic(self):
+        order = []
+
+        def make(eng, name, delays):
+            def proc():
+                for d in delays:
+                    yield Delay(d)
+                    order.append((eng.now, name))
+            return proc
+
+        for _ in range(3):
+            order.clear()
+            eng = Engine()
+            eng.spawn(make(eng, "a", [1.0, 1.0])())
+            eng.spawn(make(eng, "b", [1.0, 1.0])())
+            eng.run()
+            # same-time events resume in spawn order
+            assert order == [(1.0, "a"), (1.0, "b"), (2.0, "a"), (2.0, "b")]
+
+
+class TestSignal:
+    def test_wait_then_fire(self):
+        eng = Engine()
+        sig = eng.new_signal("s")
+        got = []
+
+        def waiter():
+            value = yield sig
+            got.append((eng.now, value))
+
+        def firer():
+            yield Delay(3.0)
+            sig.fire("hello")
+
+        eng.spawn(waiter())
+        eng.spawn(firer())
+        eng.run()
+        assert got == [(3.0, "hello")]
+
+    def test_wait_on_fired_signal_immediate(self):
+        eng = Engine()
+        sig = eng.new_signal()
+        sig.fire(42)
+
+        got = []
+
+        def waiter():
+            value = yield sig
+            got.append(value)
+
+        eng.spawn(waiter())
+        eng.run()
+        assert got == [42]
+
+    def test_fire_idempotent(self):
+        eng = Engine()
+        sig = eng.new_signal()
+        sig.fire(1)
+        sig.fire(2)
+        assert sig.value == 1
+
+    def test_fire_at(self):
+        eng = Engine()
+        sig = eng.new_signal()
+        got = []
+
+        def waiter():
+            yield sig
+            got.append(eng.now)
+
+        sig.fire_at(7.0)
+        eng.spawn(waiter())
+        eng.run()
+        assert got == [7.0]
+
+    def test_multiple_waiters_all_wake(self):
+        eng = Engine()
+        sig = eng.new_signal()
+        got = []
+
+        def waiter(i):
+            yield sig
+            got.append(i)
+
+        for i in range(3):
+            eng.spawn(waiter(i))
+
+        def firer():
+            yield Delay(1.0)
+            sig.fire()
+
+        eng.spawn(firer())
+        eng.run()
+        assert sorted(got) == [0, 1, 2]
+
+
+class TestAllOf:
+    def test_barrier_waits_for_all(self):
+        eng = Engine()
+        s1, s2 = eng.new_signal(), eng.new_signal()
+        got = []
+
+        def waiter():
+            values = yield AllOf([s1, s2])
+            got.append((eng.now, values))
+
+        def firer():
+            yield Delay(1.0)
+            s1.fire("a")
+            yield Delay(2.0)
+            s2.fire("b")
+
+        eng.spawn(waiter())
+        eng.spawn(firer())
+        eng.run()
+        assert got == [(3.0, ["a", "b"])]
+
+    def test_empty_barrier(self):
+        eng = Engine()
+        done = []
+
+        def waiter():
+            yield AllOf([])
+            done.append(True)
+
+        eng.spawn(waiter())
+        eng.run()
+        assert done == [True]
+
+    def test_all_prefired(self):
+        eng = Engine()
+        s = eng.new_signal()
+        s.fire(9)
+        got = []
+
+        def waiter():
+            values = yield AllOf([s, s])
+            got.append(values)
+
+        eng.spawn(waiter())
+        eng.run()
+        assert got == [[9, 9]]
+
+
+class TestErrors:
+    def test_deadlock_detected(self):
+        eng = Engine()
+        sig = eng.new_signal("never")
+
+        def stuck():
+            yield sig
+
+        eng.spawn(stuck(), name="stuck-proc")
+        with pytest.raises(SimulationError, match="deadlock"):
+            eng.run()
+
+    def test_bad_yield_rejected(self):
+        eng = Engine()
+
+        def bad():
+            yield 42
+
+        eng.spawn(bad())
+        with pytest.raises(SimulationError, match="unsupported"):
+            eng.run()
+
+    def test_schedule_in_past_rejected(self):
+        eng = Engine()
+
+        def proc():
+            yield Delay(10.0)
+            eng.call_at(5.0, lambda: None)
+
+        eng.spawn(proc())
+        with pytest.raises(SimulationError, match="past"):
+            eng.run()
+
+    def test_run_until(self):
+        eng = Engine()
+
+        def proc():
+            for _ in range(10):
+                yield Delay(1.0)
+
+        eng.spawn(proc())
+        assert eng.run(until_us=4.5) == 4.5
+        assert eng.unfinished == 1
+        assert eng.run() == 10.0
+        assert eng.unfinished == 0
+
+    def test_process_result(self):
+        eng = Engine()
+
+        def proc():
+            yield Delay(1.0)
+            return "done"
+
+        p = eng.spawn(proc())
+        eng.run()
+        assert p.done
+        assert p.result == "done"

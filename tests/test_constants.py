@@ -1,0 +1,43 @@
+"""Sanity checks on the paper constants and their derived values."""
+
+import pytest
+
+from repro import constants as C
+
+
+def test_bandwidth_conversion():
+    # 40 Gbit/s = 5000 bytes per microsecond
+    assert C.LINK_BANDWIDTH_BYTES_PER_US == pytest.approx(5000.0)
+    assert C.LOW_POWER_BANDWIDTH_BYTES_PER_US == pytest.approx(1250.0)
+
+
+def test_breakeven_is_twice_react():
+    assert C.MIN_GROUPING_THRESHOLD_US == pytest.approx(2 * C.T_REACT_US)
+
+
+def test_paper_power_numbers():
+    assert C.LOW_POWER_FRACTION == pytest.approx(0.43)
+    assert C.TRANSITION_POWER_FRACTION == 1.0
+    assert C.LINK_SHARE_OF_SWITCH_POWER == pytest.approx(0.64)
+
+
+def test_paper_mpi_ids():
+    assert C.MPI_SENDRECV_ID == 41
+    assert C.MPI_ALLREDUCE_ID == 10
+
+
+def test_displacements_are_paper_points():
+    assert C.DISPLACEMENT_FACTORS == (0.01, 0.05, 0.10)
+
+
+def test_xgft_paper_instance():
+    assert C.XGFT_HEIGHT == len(C.XGFT_CHILDREN) == len(C.XGFT_PARENTS) == 2
+    assert C.XGFT_CHILDREN == (18, 14)
+    assert C.XGFT_PARENTS == (1, 18)
+
+
+def test_bucket_edges():
+    low, high = C.IDLE_BUCKET_EDGES_US
+    assert (low, high) == (20.0, 200.0)
+    # the lower Table I edge is exactly the shutdown break-even
+    assert low == C.MIN_GROUPING_THRESHOLD_US

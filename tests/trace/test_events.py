@@ -1,0 +1,122 @@
+"""Unit tests for repro.trace.events."""
+
+import pytest
+
+from repro.trace.events import (
+    Collective,
+    Compute,
+    MPICall,
+    MPIEvent,
+    PointToPoint,
+    idle_gaps,
+    mpi_records,
+)
+
+
+class TestMPICall:
+    def test_paper_ids(self):
+        # the paper's Fig. 2/3 depend on these exact Paraver ids
+        assert int(MPICall.SENDRECV) == 41
+        assert int(MPICall.ALLREDUCE) == 10
+
+    def test_collective_classification(self):
+        assert MPICall.ALLREDUCE.is_collective
+        assert MPICall.BARRIER.is_collective
+        assert not MPICall.SEND.is_collective
+
+    def test_p2p_classification(self):
+        assert MPICall.SEND.is_pointtopoint
+        assert MPICall.SENDRECV.is_pointtopoint
+        assert MPICall.WAITALL.is_pointtopoint
+        assert not MPICall.BCAST.is_pointtopoint
+
+    def test_no_call_is_both(self):
+        for call in MPICall:
+            assert not (call.is_collective and call.is_pointtopoint)
+
+
+class TestRecords:
+    def test_compute_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Compute(-1.0)
+
+    def test_compute_zero_ok(self):
+        assert Compute(0.0).duration_us == 0.0
+
+    def test_p2p_rejects_collective_call(self):
+        with pytest.raises(ValueError):
+            PointToPoint(MPICall.ALLREDUCE, 1, 100)
+
+    def test_p2p_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            PointToPoint(MPICall.SEND, 1, -5)
+
+    def test_p2p_rejects_negative_peer(self):
+        with pytest.raises(ValueError):
+            PointToPoint(MPICall.SEND, -1, 5)
+
+    def test_sendrecv_carries_recv_peer(self):
+        rec = PointToPoint(MPICall.SENDRECV, 2, 100, recv_peer=7)
+        assert rec.peer == 2
+        assert rec.recv_peer == 7
+
+    def test_collective_rejects_p2p_call(self):
+        with pytest.raises(ValueError):
+            Collective(MPICall.SEND, 100)
+
+    def test_collective_root_default(self):
+        assert Collective(MPICall.BCAST, 64).root == 0
+
+    def test_records_are_frozen(self):
+        rec = Compute(5.0)
+        with pytest.raises(AttributeError):
+            rec.duration_us = 6.0
+
+
+class TestMPIEvent:
+    def test_duration(self):
+        ev = MPIEvent(MPICall.SEND, 10.0, 13.5)
+        assert ev.duration_us == pytest.approx(3.5)
+
+    def test_rejects_exit_before_enter(self):
+        with pytest.raises(ValueError):
+            MPIEvent(MPICall.SEND, 10.0, 9.0)
+
+    def test_zero_duration_ok(self):
+        assert MPIEvent(MPICall.SEND, 10.0, 10.0).duration_us == 0.0
+
+
+class TestIdleGaps:
+    def test_gaps_between_events(self):
+        events = [
+            MPIEvent(MPICall.SEND, 0.0, 1.0),
+            MPIEvent(MPICall.RECV, 11.0, 12.0),
+            MPIEvent(MPICall.SEND, 12.0, 13.0),
+        ]
+        assert idle_gaps(events) == [10.0, 0.0]
+
+    def test_empty_and_single(self):
+        assert idle_gaps([]) == []
+        assert idle_gaps([MPIEvent(MPICall.SEND, 0.0, 1.0)]) == []
+
+    def test_overlapping_clamped_to_zero(self):
+        # events may abut due to float arithmetic; never negative gaps
+        events = [
+            MPIEvent(MPICall.SEND, 0.0, 5.0),
+            MPIEvent(MPICall.RECV, 4.0, 6.0),
+        ]
+        assert idle_gaps(events) == [0.0]
+
+
+class TestMpiRecords:
+    def test_filters_compute(self):
+        records = [
+            Compute(1.0),
+            PointToPoint(MPICall.SEND, 1, 8),
+            Compute(2.0),
+            Collective(MPICall.BARRIER, 0),
+        ]
+        out = mpi_records(records)
+        assert len(out) == 2
+        assert isinstance(out[0], PointToPoint)
+        assert isinstance(out[1], Collective)

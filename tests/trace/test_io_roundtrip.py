@@ -1,0 +1,130 @@
+"""Serialisation tests for repro.trace.io, including property-based
+round-trips."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.events import Collective, Compute, MPICall, PointToPoint
+from repro.trace.io import (
+    TraceParseError,
+    dumps_trace,
+    loads_trace,
+)
+from repro.trace.trace import ProcessTrace, Trace
+
+
+def test_roundtrip_small(small_ring_trace):
+    text = dumps_trace(small_ring_trace)
+    back = loads_trace(text)
+    assert back.name == small_ring_trace.name
+    assert back.nranks == small_ring_trace.nranks
+    assert back.total_records == small_ring_trace.total_records
+    for a, b in zip(small_ring_trace, back):
+        assert a.records == b.records
+
+
+def test_meta_roundtrip():
+    t = Trace.empty("meta", 2, iterations=5, scale=1.5, mode="strong")
+    text = dumps_trace(t)
+    back = loads_trace(text)
+    assert back.meta == {"iterations": 5, "scale": 1.5, "mode": "strong"}
+
+
+def test_float_precision_exact():
+    t = Trace.empty("f", 1)
+    t[0].compute(0.1 + 0.2)  # 0.30000000000000004
+    back = loads_trace(dumps_trace(t))
+    assert back[0].records[0].duration_us == t[0].records[0].duration_us
+
+
+def test_rejects_missing_header():
+    with pytest.raises(TraceParseError):
+        loads_trace("C 1.0\n")
+
+
+def test_rejects_out_of_order_ranks():
+    with pytest.raises(TraceParseError, match="out of order"):
+        loads_trace("#TRACE name=x nranks=2\n#RANK 1\n")
+
+
+def test_rejects_unknown_record():
+    with pytest.raises(TraceParseError):
+        loads_trace("#TRACE name=x nranks=1\n#RANK 0\nZ 1 2\n")
+
+
+def test_rejects_bad_field_count():
+    with pytest.raises(TraceParseError):
+        loads_trace("#TRACE name=x nranks=1\n#RANK 0\nC 1.0 2.0\n")
+
+
+def test_rejects_rank_count_mismatch():
+    with pytest.raises(TraceParseError):
+        loads_trace("#TRACE name=x nranks=3\n#RANK 0\n")
+
+
+def test_comments_and_blank_lines_ignored():
+    text = "#TRACE name=x nranks=1\n\n// a comment\n#RANK 0\nC 1.0\n"
+    t = loads_trace(text)
+    assert t.total_records == 1
+
+
+# ---------------------------------------------------------------- property
+
+_p2p_calls = st.sampled_from(
+    [MPICall.SEND, MPICall.RECV, MPICall.ISEND, MPICall.IRECV]
+)
+_coll_calls = st.sampled_from(
+    [MPICall.ALLREDUCE, MPICall.BCAST, MPICall.BARRIER, MPICall.ALLTOALL]
+)
+
+_record = st.one_of(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False).map(Compute),
+    st.builds(
+        PointToPoint,
+        call=_p2p_calls,
+        peer=st.integers(0, 3),
+        size_bytes=st.integers(0, 1 << 30),
+        tag=st.integers(0, 1 << 16),
+    ),
+    st.builds(
+        PointToPoint,
+        call=st.just(MPICall.SENDRECV),
+        peer=st.integers(0, 3),
+        size_bytes=st.integers(0, 1 << 20),
+        tag=st.integers(0, 100),
+        recv_peer=st.integers(0, 3),
+        recv_size_bytes=st.integers(0, 1 << 20),
+    ),
+    st.builds(
+        Collective,
+        call=_coll_calls,
+        size_bytes=st.integers(0, 1 << 30),
+        root=st.integers(0, 3),
+    ),
+)
+
+
+@given(records=st.lists(st.lists(_record, max_size=12), min_size=4, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(records):
+    procs = []
+    for r, recs in enumerate(records):
+        p = ProcessTrace(r)
+        for rec in recs:
+            p.append(rec)
+        procs.append(p)
+    trace = Trace("prop", procs)
+    back = loads_trace(dumps_trace(trace))
+    assert back.nranks == trace.nranks
+    for a, b in zip(trace, back):
+        assert len(a.records) == len(b.records)
+        for ra, rb in zip(a.records, b.records):
+            assert type(ra) is type(rb)
+            if isinstance(ra, Compute):
+                assert math.isclose(ra.duration_us, rb.duration_us) or (
+                    ra.duration_us == rb.duration_us
+                )
+            else:
+                assert ra == rb

@@ -1,0 +1,74 @@
+"""Tests for repro.trace.stats."""
+
+import pytest
+
+from repro.trace.events import MPICall, MPIEvent
+from repro.trace.stats import (
+    GapSummary,
+    calls_per_second,
+    communication_fraction,
+    summarize_trace,
+)
+
+
+class TestGapSummary:
+    def test_empty(self):
+        s = GapSummary.from_gaps([])
+        assert s.count == 0
+        assert s.total_us == 0.0
+
+    def test_basic(self):
+        s = GapSummary.from_gaps([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.total_us == pytest.approx(10.0)
+        assert s.mean_us == pytest.approx(2.5)
+        assert s.median_us == pytest.approx(2.5)
+        assert s.min_us == 1.0
+        assert s.max_us == 4.0
+
+    def test_percentiles_ordered(self):
+        s = GapSummary.from_gaps(list(range(100)))
+        assert s.p10_us <= s.median_us <= s.p90_us
+
+
+class TestTraceSummary:
+    def test_summary(self, small_ring_trace):
+        s = summarize_trace(small_ring_trace)
+        assert s.nranks == 4
+        assert s.total_mpi_calls == 24
+        assert s.total_bytes == 4 * 3 * (4096 + 64)
+        assert s.call_mix["SENDRECV"] == 12
+        assert s.mean_calls_per_rank == pytest.approx(6.0)
+        assert s.total_compute_us > 0
+
+
+class TestCommunicationFraction:
+    def test_all_mpi(self):
+        events = [MPIEvent(MPICall.SEND, 0.0, 10.0),
+                  MPIEvent(MPICall.SEND, 10.0, 20.0)]
+        assert communication_fraction(events) == pytest.approx(1.0)
+
+    def test_half_mpi(self):
+        events = [MPIEvent(MPICall.SEND, 0.0, 5.0),
+                  MPIEvent(MPICall.SEND, 15.0, 20.0)]
+        assert communication_fraction(events) == pytest.approx(0.5)
+
+    def test_with_explicit_end(self):
+        events = [MPIEvent(MPICall.SEND, 0.0, 5.0)]
+        assert communication_fraction(events, t_end=50.0) == pytest.approx(0.1)
+
+    def test_empty(self):
+        assert communication_fraction([]) == 0.0
+
+
+class TestCallsPerSecond:
+    def test_rate(self):
+        # 4 calls over 3000 us window
+        events = [MPIEvent(MPICall.SEND, i * 1000.0, i * 1000.0 + 1)
+                  for i in range(4)]
+        rate = calls_per_second(events)
+        assert rate == pytest.approx(4 / (3001.0 / 1e6))
+
+    def test_degenerate(self):
+        assert calls_per_second([]) == 0.0
+        assert calls_per_second([MPIEvent(MPICall.SEND, 0.0, 1.0)]) == 0.0

@@ -1,0 +1,105 @@
+"""Unit tests for repro.trace.trace (containers and validation)."""
+
+import pytest
+
+from repro.trace.events import Collective, Compute, MPICall, PointToPoint
+from repro.trace.trace import ProcessTrace, Trace
+
+
+class TestProcessTrace:
+    def test_compute_coalesces(self):
+        p = ProcessTrace(0)
+        p.compute(5.0)
+        p.compute(7.0)
+        assert len(p.records) == 1
+        assert p.records[0].duration_us == pytest.approx(12.0)
+
+    def test_compute_not_coalesced_across_mpi(self):
+        p = ProcessTrace(0)
+        p.compute(5.0)
+        p.append(PointToPoint(MPICall.SEND, 1, 8))
+        p.compute(7.0)
+        assert len(p.records) == 3
+
+    def test_total_compute(self):
+        p = ProcessTrace(0)
+        p.compute(5.0)
+        p.append(Collective(MPICall.BARRIER, 0))
+        p.compute(7.0)
+        assert p.total_compute_us == pytest.approx(12.0)
+
+    def test_mpi_calls_excludes_compute(self):
+        p = ProcessTrace(0)
+        p.compute(5.0)
+        p.append(Collective(MPICall.BARRIER, 0))
+        assert len(p.mpi_calls) == 1
+
+
+class TestTraceValidation:
+    def test_ranks_must_be_dense(self):
+        with pytest.raises(ValueError):
+            Trace("t", [ProcessTrace(1)])
+
+    def test_peer_out_of_range(self):
+        p = ProcessTrace(0)
+        p.append(PointToPoint(MPICall.SEND, 3, 8))
+        with pytest.raises(ValueError):
+            Trace("t", [p])
+
+    def test_recv_peer_out_of_range(self):
+        p0, p1 = ProcessTrace(0), ProcessTrace(1)
+        p0.append(PointToPoint(MPICall.SENDRECV, 1, 8, recv_peer=9))
+        with pytest.raises(ValueError):
+            Trace("t", [p0, p1])
+
+    def test_collective_root_out_of_range(self):
+        p = ProcessTrace(0)
+        p.append(Collective(MPICall.BCAST, 8, root=5))
+        with pytest.raises(ValueError):
+            Trace("t", [p])
+
+    def test_empty_factory(self):
+        t = Trace.empty("x", 4, foo=1)
+        assert t.nranks == 4
+        assert t.meta["foo"] == 1
+        assert all(len(p) == 0 for p in t)
+
+
+class TestBalance:
+    def test_balanced_ring(self, small_ring_trace):
+        assert small_ring_trace.check_p2p_balance() == []
+
+    def test_unmatched_send_detected(self):
+        t = Trace.empty("t", 2)
+        t[0].append(PointToPoint(MPICall.SEND, 1, 8, tag=5))
+        problems = t.check_p2p_balance()
+        assert len(problems) == 1
+        assert "0->1" in problems[0]
+
+    def test_sendrecv_counts_both_directions(self):
+        t = Trace.empty("t", 2)
+        t[0].append(PointToPoint(MPICall.SENDRECV, 1, 8, tag=1, recv_peer=1))
+        t[1].append(PointToPoint(MPICall.SENDRECV, 0, 8, tag=1, recv_peer=0))
+        assert t.check_p2p_balance() == []
+
+    def test_isend_matches_recv(self):
+        t = Trace.empty("t", 2)
+        t[0].append(PointToPoint(MPICall.ISEND, 1, 8, tag=2))
+        t[1].append(PointToPoint(MPICall.RECV, 0, 8, tag=2))
+        assert t.check_p2p_balance() == []
+
+    def test_tag_mismatch_detected(self):
+        t = Trace.empty("t", 2)
+        t[0].append(PointToPoint(MPICall.SEND, 1, 8, tag=1))
+        t[1].append(PointToPoint(MPICall.RECV, 0, 8, tag=2))
+        assert len(t.check_p2p_balance()) == 2
+
+
+class TestCounts:
+    def test_collective_counts(self, small_ring_trace):
+        counts = small_ring_trace.collective_counts()
+        assert counts[MPICall.ALLREDUCE] == 4 * 3
+        assert counts[MPICall.SENDRECV] == 4 * 3
+
+    def test_total_mpi_calls(self, small_ring_trace):
+        assert small_ring_trace.total_mpi_calls == 4 * 3 * 2
