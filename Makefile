@@ -1,0 +1,26 @@
+# Convenience targets for the reproduction pipeline.
+#
+#   make test         tier-1 test suite
+#   make bench        full perf benchmark (writes benchmarks/out/BENCH_pipeline.json)
+#   make bench-smoke  quick perf-regression gate: REPRO_ITERATIONS=10,
+#                     fails on a >3x stage slowdown vs the recorded
+#                     benchmarks/BENCH_pipeline.json
+#   make bench-record re-record the smoke reference on this machine
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke bench-record
+
+test:
+	$(PY) -m pytest -x -q
+
+bench:
+	$(PY) -m repro.cli bench
+
+bench-smoke:
+	REPRO_ITERATIONS=10 $(PY) -m repro.cli bench --smoke
+
+bench-record:
+	rm -f benchmarks/BENCH_pipeline.json
+	REPRO_ITERATIONS=10 $(PY) -m repro.cli bench --smoke

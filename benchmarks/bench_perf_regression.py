@@ -1,0 +1,34 @@
+"""Pipeline perf-regression benchmark: wall-clock per stage.
+
+Times the planning-side stages (trace generation, baseline replay, GT
+sweep, shared planning pass, managed replays) on a fixed seed and writes
+``benchmarks/out/BENCH_pipeline.json`` so future PRs have a perf
+trajectory to compare against.  The committed reference lives at
+``benchmarks/BENCH_pipeline.json``; ``make bench-smoke`` (or
+``python -m repro.cli bench --smoke``) fails on a >3x stage slowdown.
+"""
+
+from __future__ import annotations
+
+import json
+
+from conftest import OUT_DIR, emit
+
+from repro import perf
+
+
+def test_perf_regression_benchmark():
+    result = perf.run_pipeline_benchmark()
+    emit("pipeline_perf", perf.format_benchmark(result))
+    perf.write_benchmark(result, OUT_DIR / "BENCH_pipeline.json")
+
+    ref_path = perf.reference_path()
+    if not ref_path.exists():
+        return
+    reference = json.loads(ref_path.read_text(encoding="utf-8"))
+    if reference.get("config") != result.get("config"):
+        # reference was recorded at other settings (e.g. smoke runs at
+        # REPRO_ITERATIONS=10); timings are not comparable
+        return
+    problems = perf.compare_benchmark(result, reference)
+    assert not problems, "; ".join(problems)

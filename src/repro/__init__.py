@@ -36,9 +36,13 @@ from .core import (
     PPAConfig,
     RuntimeConfig,
     RuntimeStats,
+    TracePlan,
     build_grams,
+    gt_sweep,
     plan_trace_directives,
+    plan_trace_directives_shared,
     select_gt,
+    select_gt_detailed,
 )
 from .experiments import run_cell, run_figure, run_table1, run_table3, run_table4
 from .power import WRPSParams
@@ -61,9 +65,13 @@ __all__ = [
     "PPAConfig",
     "RuntimeConfig",
     "RuntimeStats",
+    "TracePlan",
     "build_grams",
+    "gt_sweep",
     "plan_trace_directives",
+    "plan_trace_directives_shared",
     "select_gt",
+    "select_gt_detailed",
     "run_cell",
     "run_figure",
     "run_table1",

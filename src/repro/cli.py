@@ -11,17 +11,23 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli timeline --app gromacs --nranks 16
     python -m repro.cli gen --app alya --nranks 8 -o alya8.dim
     python -m repro.cli replay alya8.dim [--displacement 0.01]
+    python -m repro.cli bench [--smoke]
 
 Each subcommand prints the regenerated table/figure; ``--csv PATH``
 additionally writes machine-readable output.  ``gen``/``replay`` export
 synthetic traces to the text ``.dim`` format and run the full pipeline
-on any trace file (including hand-written ones).
+on any trace file (including hand-written ones).  ``--workers N`` (or
+``REPRO_WORKERS``) fans the per-rank planning passes out over worker
+processes; results are identical to the sequential run.  ``bench`` times
+the pipeline stages and writes ``BENCH_pipeline.json``; with ``--smoke``
+it fails on a >3x slowdown against the recorded reference.
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import os
 import sys
 from typing import Sequence
 
@@ -188,6 +194,45 @@ def _cmd_replay(args) -> None:
     print(f"shutdowns       : {managed.total_shutdowns}")
 
 
+def _cmd_bench(args) -> None:
+    from . import perf
+
+    iterations = args.iterations
+    if args.smoke and iterations is None:
+        iterations = 10
+    result = perf.run_pipeline_benchmark(
+        app=args.app, nranks=args.nranks, iterations=iterations,
+    )
+    print(perf.format_benchmark(result))
+    out = perf.output_path()
+    perf.write_benchmark(result, out)
+    print(f"[benchmark written to {out}]", file=sys.stderr)
+    if args.csv:
+        _write_csv(
+            args.csv,
+            ["stage", "seconds"],
+            list(result["stages"].items()),
+        )
+    if not args.smoke:
+        return
+    ref_path = perf.reference_path()
+    if not ref_path.exists():
+        perf.write_benchmark(result, ref_path)
+        print(f"[no reference found; recorded {ref_path}]", file=sys.stderr)
+        return
+    import json
+
+    reference = json.loads(ref_path.read_text(encoding="utf-8"))
+    problems = perf.compare_benchmark(result, reference)
+    if problems:
+        print("perf regression gate FAILED:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        raise SystemExit(1)
+    print("perf regression gate passed (all stages within "
+          f"{perf.MAX_SLOWDOWN:.0f}x of the reference)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -199,6 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--iterations", type=int, default=None,
                        help="trace length (default: REPRO_ITERATIONS or 40)")
         p.add_argument("--csv", default=None, help="also write CSV here")
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker processes for per-rank planning passes "
+                            "(default: REPRO_WORKERS or 1)")
 
     p = sub.add_parser("table1", help="idle-interval distribution")
     p.add_argument("--apps", nargs="*", default=None, choices=APPLICATIONS)
@@ -259,12 +307,38 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.set_defaults(func=_cmd_replay)
 
+    p = sub.add_parser("bench", help="pipeline perf-regression benchmark")
+    p.add_argument("--app", default="alya", choices=APPLICATIONS)
+    p.add_argument("--nranks", type=int, default=64)
+    p.add_argument("--smoke", action="store_true",
+                   help="compare against the recorded reference JSON and "
+                        "fail on a >3x stage slowdown (iterations "
+                        "defaults to 10)")
+    common(p)
+    p.set_defaults(func=_cmd_bench)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        args.func(args)
+        return 0
+    # one env knob reaches every per-rank pass below the experiment
+    # drivers without threading a parameter through each of them;
+    # restored afterwards so programmatic main() calls don't leak
+    # parallelism into the rest of the process
+    previous = os.environ.get("REPRO_WORKERS")
+    os.environ["REPRO_WORKERS"] = str(workers)
+    try:
+        args.func(args)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_WORKERS"]
+        else:
+            os.environ["REPRO_WORKERS"] = previous
     return 0
 
 

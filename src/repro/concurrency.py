@@ -1,0 +1,58 @@
+"""Opt-in parallel rank execution for the planning-side passes.
+
+The mechanism's software side (gram formation + PPA + monitor) is a
+purely per-rank computation, so the planning pass and the GT sweep can
+fan ranks out across worker processes.  Parallelism is opt-in — the
+default stays sequential so results remain cheap to reason about and the
+test suite exercises the exact same code paths — and is enabled either
+programmatically (``workers=N``) or globally via the ``REPRO_WORKERS``
+environment variable (the ``--workers`` CLI flag sets it).
+
+Determinism: ``parallel_map`` preserves input order, every worker runs
+the identical sequential code on one item, and no shared mutable state
+crosses the process boundary — parallel output is bit-for-bit equal to
+the sequential output (asserted by the replay property tests).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: environment knob: number of worker processes for per-rank passes
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Explicit argument > ``REPRO_WORKERS`` env > sequential default."""
+
+    if workers is not None:
+        return max(1, int(workers))
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ValueError(
+            f"{WORKERS_ENV} must be an integer, got {raw!r}"
+        ) from None
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], items: Sequence[_T], workers: int
+) -> list[_R]:
+    """Order-preserving map, fanned out over processes when ``workers>1``.
+
+    ``fn`` must be a module-level callable and the items picklable; with
+    ``workers <= 1`` (or a single item) this is a plain sequential map.
+    """
+
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))

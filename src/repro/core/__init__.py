@@ -6,16 +6,21 @@
 * :mod:`repro.core.powerctl` — Algorithm 3, power mode control;
 * :mod:`repro.core.runtime` — the PMPI interposition pipeline;
 * :mod:`repro.core.gt_search` — grouping-threshold tuning (Section IV-C);
+* :mod:`repro.core.fastscan` — vectorised single-pass GT sweep layer;
 * :mod:`repro.core.overheads` — instrumentation cost model (Section IV-D).
 """
 
+from .fastscan import RankScan, count_shutdowns, group_candidates, scan_rank
 from .grams import Gram, GramBuilder, GramSignature, build_grams, gram_gaps_us
 from .gt_search import (
+    GT_TIE_TOLERANCE_PCT,
     GTEvaluation,
+    GTSelection,
     default_gt_candidates,
     evaluate_gt,
     gt_sweep,
     select_gt,
+    select_gt_detailed,
 )
 from .overheads import OverheadModel, OverheadReport
 from .patterns import (
@@ -35,9 +40,13 @@ from .powerctl import (
 from .ppa import PPA, PPAConfig, PredictionDeclaration
 from .runtime import (
     PMPIRuntime,
+    RankPlan,
     RuntimeConfig,
     RuntimeStats,
+    ShutdownCandidate,
+    TracePlan,
     plan_trace_directives,
+    plan_trace_directives_shared,
 )
 
 __all__ = [
@@ -46,11 +55,18 @@ __all__ = [
     "GramSignature",
     "build_grams",
     "gram_gaps_us",
+    "RankScan",
+    "count_shutdowns",
+    "group_candidates",
+    "scan_rank",
+    "GT_TIE_TOLERANCE_PCT",
     "GTEvaluation",
+    "GTSelection",
     "default_gt_candidates",
     "evaluate_gt",
     "gt_sweep",
     "select_gt",
+    "select_gt_detailed",
     "OverheadModel",
     "OverheadReport",
     "GapEstimator",
@@ -67,7 +83,11 @@ __all__ = [
     "PPAConfig",
     "PredictionDeclaration",
     "PMPIRuntime",
+    "RankPlan",
     "RuntimeConfig",
     "RuntimeStats",
+    "ShutdownCandidate",
+    "TracePlan",
     "plan_trace_directives",
+    "plan_trace_directives_shared",
 ]

@@ -54,6 +54,35 @@ class ShutdownPlan:
     boundary: int
 
 
+def shutdown_timer_us(
+    idle_us: float,
+    *,
+    displacement: float,
+    gt_us: float,
+    t_react_us: float,
+    t_deact_us: float,
+) -> float | None:
+    """Algorithm 3's guard + timer arithmetic, the single source of truth.
+
+    Returns the programmed timer, or ``None`` when the idle estimate is
+    too short to pay the toggle (``<= 2*T_react``), below the
+    useless-region cutoff (``< GT``), or leaves no room after the safety
+    margin (``timer <= T_deact``).  Used by the live monitor and by the
+    deferred rebind path, so the two can never drift; the vectorised
+    sweep filter (:func:`repro.core.fastscan.count_shutdowns`) applies
+    the same arithmetic elementwise and is property-tested against this
+    function.
+    """
+
+    if idle_us <= 2.0 * t_react_us or idle_us < gt_us:
+        return None
+    safety = idle_us * displacement + t_react_us
+    timer = idle_us - safety
+    if timer <= t_deact_us:
+        return None
+    return timer
+
+
 @dataclass(frozen=True, slots=True)
 class PowerControlConfig:
     displacement: float
@@ -130,6 +159,16 @@ class PowerModeMonitor:
 
     # --------------------------------------------------------------- planning
 
+    def pending_idle_us(self) -> float | None:
+        """The EWMA idle estimate for the boundary that follows the gram
+        that just completed — the displacement-*independent* input of
+        Algorithm 3.  Used by the deferred planning mode, which records
+        the estimate and applies the displacement/threshold arithmetic
+        later (``RankPlan.rebind_displacement``)."""
+
+        boundary = (self.cycle_pos - 1) % self.record.size
+        return self.record.predicted_gap_us(boundary)
+
     def plan_shutdown(self) -> ShutdownPlan | None:
         """Algorithm 3's body, for the boundary that follows the gram that
         just completed (call after :meth:`feed_call` returned
@@ -140,12 +179,14 @@ class PowerModeMonitor:
         if idle is None:
             return None
         cfg = self.config
-        if idle <= 2.0 * cfg.t_react_us or idle < cfg.gt_us:
-            # too short to pay the toggle / below the useless-region cutoff
-            return None
-        safety = idle * cfg.displacement + cfg.t_react_us
-        timer = idle - safety
-        if timer <= cfg.t_deact_us:
+        timer = shutdown_timer_us(
+            idle,
+            displacement=cfg.displacement,
+            gt_us=cfg.gt_us,
+            t_react_us=cfg.t_react_us,
+            t_deact_us=cfg.t_deact_us,
+        )
+        if timer is None:
             return None
         self.shutdowns_planned += 1
         return ShutdownPlan(timer_us=timer, predicted_idle_us=idle, boundary=boundary)

@@ -18,16 +18,23 @@ emerge from the simulation itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
+from ..concurrency import parallel_map, resolve_workers
 from ..constants import T_REACT_US
 from ..power.states import WRPSParams
 from ..sim.mpi import RankDirective
 from ..trace.events import MPIEvent
 from .grams import GramBuilder
 from .overheads import OverheadModel, OverheadReport
-from .powerctl import GramCheck, PowerControlConfig, PowerModeMonitor, ShutdownPlan
+from .powerctl import (
+    GramCheck,
+    PowerControlConfig,
+    PowerModeMonitor,
+    ShutdownPlan,
+    shutdown_timer_us,
+)
 from .ppa import PPA, PPAConfig, PredictionDeclaration
 
 
@@ -47,6 +54,11 @@ class RuntimeStats:
     ppa_operations: int = 0
     ppa_overhead_us: float = 0.0
     intercept_overhead_us: float = 0.0
+    #: how many full software-side passes produced this record: always 1
+    #: after a real pass; displacement rebinds *copy* the value instead of
+    #: re-running, so it stays 1 no matter how many displacement factors
+    #: share the plan.
+    planning_passes: int = 0
 
     @property
     def hit_rate_pct(self) -> float:
@@ -80,15 +92,26 @@ class RuntimeConfig:
 
 
 class PMPIRuntime:
-    """The mechanism for one MPI process."""
+    """The mechanism for one MPI process.
 
-    def __init__(self, config: RuntimeConfig) -> None:
+    With ``defer_displacement=True`` the displacement-*independent*
+    software side runs normally, but instead of resolving Algorithm 3's
+    timer arithmetic the runtime records each consultable idle estimate
+    as a :class:`ShutdownCandidate`; :class:`RankPlan` later re-emits the
+    timers for any displacement factor without another pass.
+    """
+
+    def __init__(
+        self, config: RuntimeConfig, *, defer_displacement: bool = False
+    ) -> None:
         self.config = config
         self.builder = GramBuilder(config.gt_us)
         self.ppa = PPA(config.ppa)
         self.monitor: PowerModeMonitor | None = None
         self.stats = RuntimeStats()
         self.directives: dict[int, RankDirective] = {}
+        self.defer_displacement = defer_displacement
+        self.shutdown_candidates: list[ShutdownCandidate] = []
         self._pcc = PowerControlConfig(
             displacement=config.displacement,
             gt_us=config.gt_us,
@@ -110,6 +133,7 @@ class PMPIRuntime:
         for index, event in enumerate(events):
             self.on_event(index, event)
         self.finish()
+        self.stats.planning_passes = 1
         return self.directives
 
     def on_event(self, index: int, event: MPIEvent) -> None:
@@ -139,7 +163,7 @@ class PMPIRuntime:
         if self.monitor is not None:
             if closed is not None:
                 self.ppa.append_only(closed)
-            shutdown = self._predict_step(event, gap)
+            shutdown = self._predict_step(index, event, gap)
         else:
             post = self._learn_step(closed)
 
@@ -206,7 +230,7 @@ class PMPIRuntime:
     # ------------------------------------------------------------ predicting
 
     def _predict_step(
-        self, event: MPIEvent, gap: float | None
+        self, index: int, event: MPIEvent, gap: float | None
     ) -> ShutdownPlan | None:
         """Power-mode-control component for one call."""
 
@@ -226,6 +250,13 @@ class PMPIRuntime:
             self.stats.predicted_calls += len(
                 monitor.record.key[(monitor.cycle_pos - 1) % monitor.record.size]
             )
+            if self.defer_displacement:
+                idle = monitor.pending_idle_us()
+                if idle is not None:
+                    self.shutdown_candidates.append(
+                        ShutdownCandidate(index=index, idle_us=idle)
+                    )
+                return None
             plan = monitor.plan_shutdown()
             if plan is not None:
                 self.stats.shutdowns_planned += 1
@@ -260,29 +291,164 @@ class PMPIRuntime:
             d.shutdown_timer_us = timer
 
 
+@dataclass(frozen=True, slots=True)
+class ShutdownCandidate:
+    """A consultable boundary recorded by the deferred planning pass.
+
+    ``idle_us`` is the EWMA idle estimate at the moment the predicted
+    gram completed at MPI call ``index`` — everything Algorithm 3 needs
+    apart from the displacement factor.
+    """
+
+    index: int
+    idle_us: float
+
+
+@dataclass(slots=True)
+class RankPlan:
+    """One rank's displacement-independent software side, run once.
+
+    ``directives`` carry the PMPI overheads (no timers);
+    ``rebind_displacement`` re-emits the shutdown timers for any
+    displacement factor with exactly the float arithmetic of
+    :meth:`repro.core.powerctl.PowerModeMonitor.plan_shutdown`, so the
+    result is bit-for-bit equal to a dedicated per-displacement pass.
+    """
+
+    directives: dict[int, RankDirective]
+    candidates: list[ShutdownCandidate]
+    stats: RuntimeStats
+    gt_us: float
+    t_react_us: float
+    t_deact_us: float
+
+    def rebind_displacement(
+        self, displacement: float
+    ) -> tuple[dict[int, RankDirective], RuntimeStats]:
+        if not 0.0 <= displacement < 1.0:
+            raise ValueError("displacement factor must be in [0, 1)")
+        directives = {
+            index: replace(d) for index, d in self.directives.items()
+        }
+        planned = 0
+        for cand in self.candidates:
+            timer = shutdown_timer_us(
+                cand.idle_us,
+                displacement=displacement,
+                gt_us=self.gt_us,
+                t_react_us=self.t_react_us,
+                t_deact_us=self.t_deact_us,
+            )
+            if timer is None:
+                continue
+            d = directives.get(cand.index)
+            if d is None:
+                d = RankDirective()
+                directives[cand.index] = d
+            d.shutdown_timer_us = timer
+            planned += 1
+        stats = replace(self.stats, shutdowns_planned=planned)
+        return directives, stats
+
+
+@dataclass(slots=True)
+class TracePlan:
+    """The displacement-independent planning pass for a whole trace."""
+
+    ranks: list[RankPlan]
+
+    def rebind_displacement(
+        self, displacement: float
+    ) -> tuple[list[dict[int, RankDirective]], list[RuntimeStats]]:
+        """Directives + stats for ``displacement``, without re-planning."""
+
+        directives: list[dict[int, RankDirective]] = []
+        stats: list[RuntimeStats] = []
+        for rank_plan in self.ranks:
+            d, s = rank_plan.rebind_displacement(displacement)
+            directives.append(d)
+            stats.append(s)
+        return directives, stats
+
+
+def _broadcast_configs(
+    event_logs: Sequence[Sequence[MPIEvent]],
+    config: RuntimeConfig | Sequence[RuntimeConfig],
+) -> list[RuntimeConfig]:
+    if isinstance(config, RuntimeConfig):
+        return [config] * len(event_logs)
+    configs = list(config)
+    if len(configs) != len(event_logs):
+        raise ValueError(
+            f"need one config per rank: {len(configs)} != {len(event_logs)}"
+        )
+    return configs
+
+
+def _plan_rank(
+    args: tuple[Sequence[MPIEvent], RuntimeConfig, bool],
+) -> tuple[dict[int, RankDirective], RuntimeStats, list[ShutdownCandidate]]:
+    """Worker body: one rank's full software-side pass (picklable)."""
+
+    events, cfg, defer = args
+    runtime = PMPIRuntime(cfg, defer_displacement=defer)
+    directives = runtime.process_stream(events)
+    return directives, runtime.stats, runtime.shutdown_candidates
+
+
 def plan_trace_directives(
     event_logs: Sequence[Sequence[MPIEvent]],
     config: RuntimeConfig | Sequence[RuntimeConfig],
+    *,
+    workers: int | None = None,
 ) -> tuple[list[dict[int, RankDirective]], list[RuntimeStats]]:
     """Run the mechanism on every rank's baseline stream.
 
     ``config`` may be shared or per-rank (the paper uses one GT per
     application/size, i.e. shared).  Returns per-rank directives and
     statistics, ready for :func:`repro.sim.dimemas.replay_managed`.
+    Ranks are independent; ``workers`` (or ``REPRO_WORKERS``) > 1 fans
+    them out over processes with identical results.
     """
 
-    if isinstance(config, RuntimeConfig):
-        configs: list[RuntimeConfig] = [config] * len(event_logs)
-    else:
-        configs = list(config)
-        if len(configs) != len(event_logs):
-            raise ValueError(
-                f"need one config per rank: {len(configs)} != {len(event_logs)}"
+    configs = _broadcast_configs(event_logs, config)
+    results = parallel_map(
+        _plan_rank,
+        [(events, cfg, False) for events, cfg in zip(event_logs, configs)],
+        resolve_workers(workers),
+    )
+    return [r[0] for r in results], [r[1] for r in results]
+
+
+def plan_trace_directives_shared(
+    event_logs: Sequence[Sequence[MPIEvent]],
+    config: RuntimeConfig | Sequence[RuntimeConfig],
+    *,
+    workers: int | None = None,
+) -> TracePlan:
+    """One displacement-independent planning pass for the whole trace.
+
+    The returned :class:`TracePlan` re-emits per-displacement directives
+    via :meth:`TracePlan.rebind_displacement`; Figs. 7-9 share a single
+    pass this way instead of re-running the runtime per displacement.
+    """
+
+    configs = _broadcast_configs(event_logs, config)
+    results = parallel_map(
+        _plan_rank,
+        [(events, cfg, True) for events, cfg in zip(event_logs, configs)],
+        resolve_workers(workers),
+    )
+    return TracePlan(
+        ranks=[
+            RankPlan(
+                directives=directives,
+                candidates=candidates,
+                stats=stats,
+                gt_us=cfg.gt_us,
+                t_react_us=cfg.wrps.t_react_us,
+                t_deact_us=cfg.wrps.t_deact_us,
             )
-    directives: list[dict[int, RankDirective]] = []
-    stats: list[RuntimeStats] = []
-    for events, cfg in zip(event_logs, configs):
-        runtime = PMPIRuntime(cfg)
-        directives.append(runtime.process_stream(list(events)))
-        stats.append(runtime.stats)
-    return directives, stats
+            for (directives, stats, candidates), cfg in zip(results, configs)
+        ]
+    )

@@ -16,6 +16,37 @@ Results are memoised per cell so that Figs. 7, 8 and 9 (three
 displacement factors over the same grid) share baselines and GT
 selection.  ``REPRO_ITERATIONS`` scales the trace length globally (the
 default keeps the full grid affordable on a laptop).
+
+## Performance
+
+The pipeline shares and caches aggressively; these are the layers, from
+outermost in:
+
+* **cell memo** — ``run_cell`` keyed on (app, nranks, iterations, seed,
+  scaling, WRPS, overhead charging): trace generation, the baseline
+  replay and GT selection run once per cell no matter how many tables or
+  figures touch it (``clear_cache`` resets).
+* **single-pass GT sweep** — ``select_gt_detailed`` runs on
+  :mod:`repro.core.fastscan`: per-rank gap/call arrays are precomputed
+  once and GT candidates that cut identical gram boundaries share one
+  gram-granular runtime pass.  The full sweep is stored on the cell
+  (``CellResult.gt_sweep``) so Fig. 10 reuses it for free.
+* **shared planning pass** — the PMPI software side (gram formation +
+  PPA + monitor) is displacement-independent; ``run_cell`` executes it
+  once per cell (``plan_trace_directives_shared``) and re-emits the
+  shutdown timers per displacement factor via
+  ``TracePlan.rebind_displacement``, so Figs. 7-9 pay one planning pass
+  instead of three.  Only the managed replay itself runs per
+  displacement.
+
+Environment knobs:
+
+* ``REPRO_ITERATIONS`` — trace length per cell (default 40);
+* ``REPRO_MAX_SIZES``  — truncate each application's size axis to the
+  first N process counts (benchmark drivers);
+* ``REPRO_WORKERS``    — worker processes for the per-rank planning
+  passes and sweep scans (default 1; the ``--workers`` CLI flag sets
+  it).  Results are bit-for-bit independent of the worker count.
 """
 
 from __future__ import annotations
@@ -35,8 +66,9 @@ from ..core import (
     GTEvaluation,
     RuntimeConfig,
     RuntimeStats,
-    plan_trace_directives,
-    select_gt,
+    TracePlan,
+    plan_trace_directives_shared,
+    select_gt_detailed,
 )
 from ..power.states import WRPSParams
 from ..sim import BaselineResult, ManagedResult, ReplayConfig, replay_baseline, replay_managed
@@ -61,6 +93,10 @@ class CellResult:
     gt: GTEvaluation
     runtime_stats: list[RuntimeStats]
     managed: dict[float, ManagedResult] = field(default_factory=dict)
+    #: the full hit-rate-vs-GT curve the selection ran over (Fig. 10)
+    gt_sweep: tuple[GTEvaluation, ...] = ()
+    #: displacement-independent planning pass, shared by all managed runs
+    plan: TracePlan | None = None
 
     @property
     def gt_us(self) -> float:
@@ -100,23 +136,24 @@ def run_cell(
 
     iters = iterations if iterations is not None else default_iterations()
     params = wrps or WRPSParams.paper()
-    key = (
-        app, nranks, iters, seed, scaling,
-        params.low_power_fraction, params.t_react_us, charge_overheads,
-    )
+    # the full (frozen, hashable) WRPSParams is part of the identity: the
+    # cached plan's shutdown-timer filtering depends on t_deact_us too,
+    # so two calls differing in any WRPS field must not share a cell
+    key = (app, nranks, iters, seed, scaling, params, charge_overheads)
     cell = _CACHE.get(key) if use_cache else None
     if cell is None:
         trace = make_trace(app, nranks, iterations=iters, seed=seed, scaling=scaling)
         baseline = replay_baseline(trace, ReplayConfig(seed=seed))
-        gt = select_gt(baseline.event_logs)
+        selection = select_gt_detailed(baseline.event_logs)
         cell = CellResult(
             app=app,
             nranks=nranks,
             iterations=iters,
             seed=seed,
             baseline=baseline,
-            gt=gt,
+            gt=selection.best,
             runtime_stats=[],
+            gt_sweep=selection.sweep,
         )
         if use_cache:
             _CACHE[key] = cell
@@ -132,16 +169,19 @@ def run_cell(
         # a custom WRPS (e.g. deep sleep) may raise the break-even above
         # the hit-rate-optimal GT; the mechanism requires GT >= 2*T_react
         gt_us = max(cell.gt_us, params.min_worthwhile_idle_us)
-        for disp in missing:
+        if cell.plan is None:
+            # the software side (gram formation + PPA + monitor) does not
+            # depend on the displacement factor: one pass serves them all
             cfg = RuntimeConfig(
                 gt_us=gt_us,
-                displacement=disp,
                 wrps=params,
                 charge_overheads=charge_overheads,
             )
-            directives, stats = plan_trace_directives(
+            cell.plan = plan_trace_directives_shared(
                 cell.baseline.event_logs, cfg
             )
+        for disp in missing:
+            directives, stats = cell.plan.rebind_displacement(disp)
             managed = replay_managed(
                 trace,
                 directives,

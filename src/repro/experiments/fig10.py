@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..core import GTEvaluation, default_gt_candidates, gt_sweep
+from ..core.gt_search import DEFAULT_SELECT_MAX_RANKS
 from .common import run_cell
 
 
@@ -37,17 +38,30 @@ def run_fig10(
     candidates: Sequence[float] | None = None,
     iterations: int | None = None,
     seed: int = 1234,
-    max_ranks: int = 4,
+    max_ranks: int = DEFAULT_SELECT_MAX_RANKS,
 ) -> list[Fig10Curve]:
     curves: list[Fig10Curve] = []
-    values = list(candidates) if candidates is not None else default_gt_candidates()
     for nranks in sizes:
         cell = run_cell(
             app, nranks, displacements=(), iterations=iterations, seed=seed
         )
-        sweep = gt_sweep(
-            cell.baseline.event_logs, values, max_ranks=max_ranks
-        )
+        if (
+            candidates is None
+            and max_ranks == DEFAULT_SELECT_MAX_RANKS
+            and cell.gt_sweep
+        ):
+            # the default request is exactly the curve GT selection
+            # already computed and stored on the cell
+            sweep = cell.gt_sweep
+        else:
+            values = (
+                list(candidates)
+                if candidates is not None
+                else default_gt_candidates()
+            )
+            sweep = gt_sweep(
+                cell.baseline.event_logs, values, max_ranks=max_ranks
+            )
         curves.append(Fig10Curve(app=app, nranks=nranks, points=tuple(sweep)))
     return curves
 

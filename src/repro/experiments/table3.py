@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..core import GTEvaluation
 from ..workloads import APPLICATIONS, DISPLAY_NAMES
 from .common import CellResult, paper_grid, run_cell
 
@@ -21,6 +22,18 @@ class Table3Row:
     nranks: int
     gt_us: float
     hit_rate_pct: float
+    #: the full sweep the selection was made from (same pass, no rerun):
+    #: lets consumers inspect runner-up candidates and curve shape
+    sweep: tuple[GTEvaluation, ...] = ()
+
+    @property
+    def runner_up(self) -> GTEvaluation | None:
+        """Best sweep point at a GT other than the selected one."""
+
+        others = [p for p in self.sweep if p.gt_us != self.gt_us]
+        if not others:
+            return None
+        return max(others, key=lambda p: p.hit_rate_pct)
 
 
 def build_row(cell: CellResult) -> Table3Row:
@@ -29,6 +42,7 @@ def build_row(cell: CellResult) -> Table3Row:
         nranks=cell.nranks,
         gt_us=cell.gt_us,
         hit_rate_pct=cell.hit_rate_pct,
+        sweep=cell.gt_sweep,
     )
 
 

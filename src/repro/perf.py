@@ -1,0 +1,176 @@
+"""Pipeline performance-regression benchmark (``BENCH_pipeline.json``).
+
+Times the three planning-side stages the perf work targets — the GT
+sweep, the shared software-side planning pass, and the managed replay —
+on a fixed seed, so successive PRs accumulate a wall-clock trajectory.
+``python -m repro.cli bench`` runs it; ``--smoke`` compares against the
+recorded reference JSON and fails on a >3x slowdown of any stage
+(tolerant enough to absorb machine-to-machine noise, tight enough to
+catch an accidental return to per-candidate or per-displacement
+passes).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Mapping, Sequence
+
+from .constants import DISPLACEMENT_FACTORS
+
+#: stage-level slowdown (current / reference) that fails the smoke gate
+MAX_SLOWDOWN = 3.0
+
+#: benchmark schema version (bump when stages change incomparably)
+SCHEMA = 1
+
+
+def _repo_root() -> pathlib.Path:
+    """The checkout root when running from a source tree, else the cwd."""
+
+    here = pathlib.Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "benchmarks").is_dir():
+            return parent
+    return pathlib.Path.cwd()
+
+
+def reference_path() -> pathlib.Path:
+    return _repo_root() / "benchmarks" / "BENCH_pipeline.json"
+
+
+def output_path() -> pathlib.Path:
+    return _repo_root() / "benchmarks" / "out" / "BENCH_pipeline.json"
+
+
+def run_pipeline_benchmark(
+    app: str = "alya",
+    nranks: int = 64,
+    iterations: int | None = None,
+    seed: int = 1234,
+    displacements: Sequence[float] = DISPLACEMENT_FACTORS,
+) -> dict:
+    """Time each pipeline stage once; returns the JSON-ready record."""
+
+    from .concurrency import resolve_workers
+    from .core import plan_trace_directives_shared, select_gt_detailed
+    from .core.runtime import RuntimeConfig
+    from .experiments.common import default_iterations
+    from .power.states import WRPSParams
+    from .sim import ReplayConfig, replay_baseline, replay_managed
+    from .workloads import make_trace
+
+    iters = iterations if iterations is not None else default_iterations()
+    params = WRPSParams.paper()
+    stages: dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    trace = make_trace(app, nranks, iterations=iters, seed=seed)
+    stages["trace_generation_s"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    baseline = replay_baseline(trace, ReplayConfig(seed=seed))
+    stages["baseline_replay_s"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    selection = select_gt_detailed(baseline.event_logs)
+    stages["gt_sweep_s"] = time.perf_counter() - t0
+
+    gt_us = max(selection.best.gt_us, params.min_worthwhile_idle_us)
+    t0 = time.perf_counter()
+    plan = plan_trace_directives_shared(
+        baseline.event_logs, RuntimeConfig(gt_us=gt_us, wrps=params)
+    )
+    stages["planning_pass_s"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for disp in displacements:
+        directives, stats = plan.rebind_displacement(disp)
+        replay_managed(
+            trace,
+            directives,
+            baseline_exec_time_us=baseline.exec_time_us,
+            displacement=disp,
+            grouping_thresholds_us=[gt_us] * nranks,
+            config=ReplayConfig(seed=seed),
+            wrps=params,
+            runtime_stats=stats,
+        )
+    stages["managed_replay_s"] = time.perf_counter() - t0
+
+    return {
+        "schema": SCHEMA,
+        "config": {
+            "app": app,
+            "nranks": nranks,
+            "iterations": iters,
+            "seed": seed,
+            "displacements": list(displacements),
+            # part of the comparison key: parallel timings must never be
+            # gated against (or recorded as) a sequential reference
+            "workers": resolve_workers(None),
+            "selected_gt_us": selection.best.gt_us,
+            "hit_rate_pct": selection.best.hit_rate_pct,
+        },
+        "stages": stages,
+    }
+
+
+def write_benchmark(result: Mapping, path: pathlib.Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+
+
+def compare_benchmark(
+    result: Mapping, reference: Mapping, max_slowdown: float = MAX_SLOWDOWN
+) -> list[str]:
+    """Stage-level regressions of ``result`` vs ``reference``.
+
+    Returns human-readable violation strings (empty = pass).  Configs
+    must match for timings to be comparable; a mismatch is reported as a
+    violation rather than silently compared.
+    """
+
+    if reference.get("schema") != result.get("schema"):
+        return [
+            f"benchmark schema changed "
+            f"({reference.get('schema')} -> {result.get('schema')}); "
+            "re-record the reference JSON"
+        ]
+    if reference.get("config") != result.get("config"):
+        return [
+            "benchmark config differs from the reference "
+            f"({reference.get('config')} vs {result.get('config')}); "
+            "re-record the reference JSON"
+        ]
+    problems: list[str] = []
+    ref_stages: Mapping[str, float] = reference.get("stages", {})
+    for stage, seconds in result.get("stages", {}).items():
+        ref = ref_stages.get(stage)
+        if ref is None:
+            problems.append(f"stage {stage} missing from the reference")
+            continue
+        # sub-millisecond stages are all noise; skip the ratio test
+        if ref < 1e-3 and seconds < 1e-3:
+            continue
+        ratio = seconds / ref if ref > 0 else float("inf")
+        if ratio > max_slowdown:
+            problems.append(
+                f"{stage}: {seconds:.3f}s vs reference {ref:.3f}s "
+                f"({ratio:.1f}x > {max_slowdown:.1f}x)"
+            )
+    return problems
+
+
+def format_benchmark(result: Mapping) -> str:
+    cfg = result["config"]
+    lines = [
+        f"pipeline benchmark: {cfg['app']} @ {cfg['nranks']} ranks, "
+        f"{cfg['iterations']} iterations (seed {cfg['seed']})",
+        f"  selected GT {cfg['selected_gt_us']:.0f} us, "
+        f"hit rate {cfg['hit_rate_pct']:.1f}%",
+    ]
+    for stage, seconds in result["stages"].items():
+        lines.append(f"  {stage:22s} {seconds * 1e3:10.1f} ms")
+    return "\n".join(lines)

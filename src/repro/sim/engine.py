@@ -9,18 +9,31 @@ semantics, the network, power) is layered on top in :mod:`repro.sim.mpi`.
 Determinism: events scheduled for the same timestamp are processed in
 insertion order (a monotonically increasing sequence number breaks ties),
 so repeated runs of the same trace are bit-for-bit identical.
+
+Hot-path layout: queue entries are plain ``(time_us, seq, fn, arg)``
+tuples (heapq orders on the first two fields; ``seq`` is unique so the
+payload is never compared) and the engine schedules bound methods with an
+explicit argument instead of allocating a closure per event.  Processes
+waiting on a :class:`Signal` are stored directly in the waiter list, so
+the resume path allocates nothing beyond the heap tuple itself.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable
 
 
 class SimulationError(RuntimeError):
     """Deadlock or protocol violation detected by the engine."""
+
+
+def _invoke(action: Callable[[], None]) -> None:
+    """Adapter for zero-argument callbacks queued through ``call_at``."""
+
+    action()
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,23 +66,38 @@ class Signal:
         self.fired = True
         self.value = value
         waiters, self._waiters = self._waiters, []
-        now = self.engine.now
+        engine = self.engine
+        now = engine.now
         for wake in waiters:
-            self.engine.call_at(now, lambda w=wake: w(self.value))
+            if wake.__class__ is _Process:
+                engine._schedule(now, self._wake_process, wake)
+            else:
+                engine._schedule(now, wake, value)
 
     def fire_at(self, t_us: float, value: Any = None) -> None:
         """Schedule the signal to fire at absolute time ``t_us``."""
 
-        self.engine.call_at(t_us, lambda: self.fire(value))
+        self.engine._schedule(t_us, self.fire, value)
 
     def add_callback(self, wake: Callable[[Any], None]) -> None:
         """Run ``wake(value)`` when the signal fires (immediately if it
         already has)."""
 
         if self.fired:
-            self.engine.call_at(self.engine.now, lambda: wake(self.value))
+            self.engine._schedule(self.engine.now, wake, self.value)
         else:
             self._waiters.append(wake)
+
+    def _add_waiter_process(self, proc: "_Process") -> None:
+        """Resume ``proc`` with the signal's value when it fires."""
+
+        if self.fired:
+            self.engine._schedule(self.engine.now, self._wake_process, proc)
+        else:
+            self._waiters.append(proc)
+
+    def _wake_process(self, proc: "_Process") -> None:
+        self.engine._resume(proc, self.value)
 
 
 class AllOf:
@@ -93,11 +121,8 @@ class _Process:
     result: Any = None
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    time_us: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
+#: Heap entry: ``(time_us, seq, fn, arg)``; dispatched as ``fn(arg)``.
+_QueueEntry = tuple
 
 
 class Engine:
@@ -105,7 +130,7 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: list[_QueueEntry] = []
+        self._queue: list[tuple] = []
         self._seq = itertools.count()
         self._processes: list[_Process] = []
         self._active = 0
@@ -118,18 +143,26 @@ class Engine:
         proc = _Process(name=name, gen=gen)
         self._processes.append(proc)
         self._active += 1
-        self.call_at(self.now, lambda: self._resume(proc, None))
+        self._schedule(self.now, self._resume_none, proc)
         return proc
 
     def call_at(self, t_us: float, action: Callable[[], None]) -> None:
         """Run ``action()`` at absolute time ``t_us`` (>= now)."""
 
-        if t_us < self.now - 1e-9:
+        self._schedule(t_us, _invoke, action)
+
+    def _schedule(self, t_us: float, fn: Callable[[Any], None], arg: Any) -> None:
+        """Queue ``fn(arg)`` at ``t_us`` (>= now); the single-argument form
+        lets hot paths schedule bound methods without closure allocations."""
+
+        now = self.now
+        if t_us < now - 1e-9:
             raise SimulationError(
-                f"cannot schedule in the past: {t_us} < now={self.now}"
+                f"cannot schedule in the past: {t_us} < now={now}"
             )
         heapq.heappush(
-            self._queue, _QueueEntry(max(t_us, self.now), next(self._seq), action)
+            self._queue,
+            (t_us if t_us > now else now, next(self._seq), fn, arg),
         )
 
     def run(self, until_us: float | None = None) -> float:
@@ -139,16 +172,19 @@ class Engine:
         the queue empties (deadlock — e.g. an unmatched receive).
         """
 
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            if until_us is not None and entry.time_us > until_us:
-                heapq.heappush(self._queue, entry)
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            t_us = entry[0]
+            if until_us is not None and t_us > until_us:
+                heapq.heappush(queue, entry)
                 self.now = until_us
                 return self.now
-            if entry.time_us < self.now - 1e-9:
+            if t_us < self.now - 1e-9:
                 raise SimulationError("time went backwards in event queue")
-            self.now = max(self.now, entry.time_us)
-            entry.action()
+            if t_us > self.now:
+                self.now = t_us
+            entry[2](entry[3])
         if self._active > 0:
             blocked = [p.name for p in self._processes if not p.done]
             raise SimulationError(
@@ -166,6 +202,9 @@ class Engine:
         return self._active
 
     # -- internals -------------------------------------------------------------
+
+    def _resume_none(self, proc: _Process) -> None:
+        self._resume(proc, None)
 
     def _resume(self, proc: _Process, send_value: Any) -> None:
         if proc.done:
@@ -185,11 +224,11 @@ class Engine:
                 raise SimulationError(
                     f"process {proc.name} yielded a negative delay"
                 )
-            self.call_at(
-                self.now + request.duration_us, lambda: self._resume(proc, None)
+            self._schedule(
+                self.now + request.duration_us, self._resume_none, proc
             )
         elif isinstance(request, Signal):
-            request.add_callback(lambda value: self._resume(proc, value))
+            request._add_waiter_process(proc)
         elif isinstance(request, AllOf):
             self._await_all(proc, request)
         else:

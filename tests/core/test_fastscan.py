@@ -1,0 +1,226 @@
+"""Property tests: the vectorised GT sweep is bit-for-bit equal to the
+per-candidate event-level slow path, including with REPRO_WORKERS>1."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GTEvaluation,
+    default_gt_candidates,
+    evaluate_gt,
+    gt_sweep,
+    select_gt,
+    select_gt_detailed,
+)
+from repro.core.fastscan import RankScan, group_candidates
+from repro.core.gt_search import _evaluate_gt_reference
+from repro.sim import ReplayConfig, replay_baseline
+from repro.trace.events import MPIEvent
+from tests.conftest import alya_like_stream, make_event_stream, ring_trace
+
+
+def random_stream(seed: int, n_min: int = 5, n_max: int = 80):
+    """Jittery stream mixing intra-gram, near-GT and clear idle gaps."""
+
+    rng = random.Random(seed)
+    pattern = []
+    for _ in range(rng.randint(n_min, n_max)):
+        call = rng.choice([1, 2, 8, 10, 41])
+        gap = rng.choice([1.0, 3.0, 19.0, 21.0, 30.0, 100.0, 500.0])
+        pattern.append((call, gap * rng.uniform(0.9, 1.1)))
+    return make_event_stream(pattern)
+
+
+CANDIDATES = [20.0, 22.0, 40.0, 100.0, 250.0, 400.0]
+
+
+def assert_sweep_matches_reference(logs, candidates, displacement=0.01):
+    fast = gt_sweep(logs, candidates, displacement=displacement)
+    slow = [
+        _evaluate_gt_reference(logs, gt, displacement=displacement)
+        for gt in candidates
+    ]
+    assert fast == slow
+
+
+class TestSweepEquivalence:
+    def test_alya_stream(self):
+        logs = [alya_like_stream(12), alya_like_stream(20)]
+        assert_sweep_matches_reference(logs, CANDIDATES)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_streams(self, seed):
+        logs = [random_stream(seed * 3 + k) for k in range(3)]
+        for displacement in (0.01, 0.10):
+            assert_sweep_matches_reference(
+                logs, CANDIDATES, displacement=displacement
+            )
+
+    def test_replayed_trace_default_candidates(self):
+        baseline = replay_baseline(
+            ring_trace(nranks=4, iterations=12), ReplayConfig(seed=5)
+        )
+        assert_sweep_matches_reference(
+            baseline.event_logs, default_gt_candidates()
+        )
+
+    def test_single_candidate_evaluate_gt(self):
+        logs = [alya_like_stream(10)]
+        for gt in CANDIDATES:
+            assert evaluate_gt(logs, gt) == _evaluate_gt_reference(logs, gt)
+
+    def test_empty_and_tiny_streams(self):
+        single = alya_like_stream(1)[:1]
+        for logs in ([], [[]], [single], [[], single]):
+            assert_sweep_matches_reference(logs, [20.0, 100.0])
+
+    def test_workers_produce_identical_sweep(self, monkeypatch):
+        logs = [random_stream(100 + k) for k in range(4)]
+        sequential = gt_sweep(logs, CANDIDATES)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert gt_sweep(logs, CANDIDATES) == sequential
+        assert gt_sweep(logs, CANDIDATES, workers=3) == sequential
+
+    def test_gt_below_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            gt_sweep([alya_like_stream(2)], [5.0])
+
+    def test_max_ranks_sampling_matches_slow_path(self):
+        logs = [random_stream(40 + k) for k in range(6)]
+        fast = gt_sweep(logs, [20.0, 60.0], max_ranks=2)
+        # the slow path samples identically: ranks 0 and 3
+        sampled = [logs[0], logs[3]]
+        slow = [_evaluate_gt_reference(sampled, gt) for gt in (20.0, 60.0)]
+        assert fast == slow
+
+
+class TestCandidateGrouping:
+    def test_groups_share_boundaries(self):
+        scans = [RankScan.from_events(random_stream(7))]
+        groups = group_candidates(scans, CANDIDATES)
+        assert sum(len(members) for _, members in groups) == len(CANDIDATES)
+        for representative, members in groups:
+            assert representative == min(members)
+            rep_grams = [
+                g.signature for g in scans[0].split_grams(representative)[0]
+            ]
+            for gt in members:
+                grams = [g.signature for g in scans[0].split_grams(gt)[0]]
+                assert grams == rep_grams
+
+    def test_distinct_boundary_sets_get_distinct_groups(self):
+        # gaps at 30 and 200: candidates straddling them must not share
+        events = make_event_stream(
+            [(41, 0.0), (41, 30.0), (41, 200.0), (41, 30.0)]
+        )
+        scans = [RankScan.from_events(events)]
+        groups = group_candidates(scans, [20.0, 100.0, 300.0])
+        assert len(groups) == 3
+
+
+class TestSelectGT:
+    def test_tie_breaks_to_smaller_gt(self):
+        # a stream with no gap in [40, 400): every candidate in that
+        # range produces the same grams, hence exactly tied hit rates
+        logs = [alya_like_stream(10, inter_gap=500.0, intra_gap=2.0)]
+        best = select_gt(logs, candidates=[400.0, 100.0, 40.0])
+        assert best.gt_us == 40.0
+
+    def test_tie_break_independent_of_candidate_order(self):
+        logs = [alya_like_stream(8)]
+        for candidates in ([20.0, 40.0], [40.0, 20.0]):
+            assert select_gt(logs, candidates=candidates).gt_us == select_gt(
+                logs, candidates=sorted(candidates)
+            ).gt_us
+
+    def test_tolerance_is_explicit(self):
+        logs = [alya_like_stream(10)]
+        # an enormous tolerance makes everything a tie: smallest GT wins
+        best = select_gt(
+            logs, candidates=[400.0, 20.0], tie_tolerance_pct=200.0
+        )
+        assert best.gt_us == 20.0
+        # zero tolerance still picks the smaller GT on exact ties
+        best = select_gt(
+            logs, candidates=[100.0, 200.0], tie_tolerance_pct=0.0
+        )
+        assert best.hit_rate_pct == max(
+            ev.hit_rate_pct
+            for ev in gt_sweep(logs, [100.0, 200.0])
+        )
+
+    def test_detailed_exposes_full_sweep(self):
+        logs = [alya_like_stream(10)]
+        selection = select_gt_detailed(logs, candidates=CANDIDATES)
+        assert len(selection.sweep) == len(CANDIDATES)
+        assert all(isinstance(p, GTEvaluation) for p in selection.sweep)
+        assert selection.best in selection.sweep
+        assert selection.gt_us == selection.best.gt_us
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ValueError):
+            select_gt([alya_like_stream(4)], candidates=[])
+
+
+class TestCountShutdowns:
+    def test_matches_scalar_shutdown_timer(self):
+        """The vectorised filter must agree with Algorithm 3's single
+        source of truth (powerctl.shutdown_timer_us) on every idle."""
+
+        from repro.core.fastscan import count_shutdowns
+        from repro.core.powerctl import shutdown_timer_us
+        from repro.power.states import WRPSParams
+
+        rng = random.Random(9)
+        wrps = WRPSParams.paper()
+        idles = np.array(
+            [rng.uniform(0.0, 600.0) for _ in range(500)]
+            + [20.0, 2 * wrps.t_react_us, wrps.t_deact_us]
+        )
+        for displacement in (0.0, 0.01, 0.10, 0.5):
+            counts = count_shutdowns(
+                idles,
+                CANDIDATES,
+                displacement=displacement,
+                t_react_us=wrps.t_react_us,
+                t_deact_us=wrps.t_deact_us,
+            )
+            for gt in CANDIDATES:
+                brute = sum(
+                    1
+                    for idle in idles
+                    if shutdown_timer_us(
+                        float(idle),
+                        displacement=displacement,
+                        gt_us=gt,
+                        t_react_us=wrps.t_react_us,
+                        t_deact_us=wrps.t_deact_us,
+                    )
+                    is not None
+                )
+                assert counts[gt] == brute
+
+
+class TestRankScan:
+    def test_arrays_match_events(self):
+        events = alya_like_stream(3)
+        scan = RankScan.from_events(events)
+        assert scan.n_events == len(events)
+        assert scan.calls.tolist() == [int(e.call) for e in events]
+        gaps = [
+            b.enter_us - a.exit_us for a, b in zip(events, events[1:])
+        ]
+        assert np.allclose(scan.gaps_us, gaps)
+
+    def test_split_grams_matches_builder(self):
+        from repro.core import build_grams
+
+        events = random_stream(11)
+        scan = RankScan.from_events(events)
+        for gt in CANDIDATES:
+            fast, _bgaps = scan.split_grams(gt)
+            assert fast == build_grams(events, gt)
