@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from ..core import RuntimeConfig, plan_trace_directives, select_gt
 from ..power.states import WRPSParams
-from ..sim import ReplayConfig, replay_baseline, replay_managed
+from ..sim import ReplayConfig, fabric_for, replay_baseline, replay_managed
 from ..workloads import make_trace
 from .planners import oracle_directives, reactive_directives
 
@@ -70,7 +70,9 @@ def compare_policies(
     params = wrps or WRPSParams.paper()
     trace = make_trace(app, nranks, iterations=iterations, seed=seed)
     cfg = ReplayConfig(seed=seed)
-    baseline = replay_baseline(trace, cfg)
+    # one fabric for the baseline and all three policy replays
+    fabric = fabric_for(nranks, cfg)
+    baseline = replay_baseline(trace, cfg, fabric=fabric)
     gt = select_gt(baseline.event_logs)
     # the mechanism requires GT >= 2*T_react: deep-sleep parameters can
     # raise the break-even above the hit-rate-optimal threshold
@@ -103,6 +105,7 @@ def compare_policies(
             grouping_thresholds_us=[gt_us] * nranks,
             config=cfg,
             wrps=params,
+            fabric=fabric,
         )
         outcomes.append(
             PolicyOutcome(

@@ -20,7 +20,9 @@ on any trace file (including hand-written ones).  ``--workers N`` (or
 ``REPRO_WORKERS``) fans the per-rank planning passes out over worker
 processes; results are identical to the sequential run.  ``bench`` times
 the pipeline stages and writes ``BENCH_pipeline.json``; with ``--smoke``
-it fails on a >3x slowdown against the recorded reference.
+it fails on a >3x slowdown against the recorded reference, and with
+``--profile`` it captures the replay stages under cProfile, prints the
+top functions and dumps the stats next to the benchmark output.
 """
 
 from __future__ import annotations
@@ -200,10 +202,30 @@ def _cmd_bench(args) -> None:
     iterations = args.iterations
     if args.smoke and iterations is None:
         iterations = 10
+    profile_path = None
+    if args.profile:
+        if args.smoke or args.csv:
+            # profiling inflates the replay stages several-fold; gating,
+            # recording or exporting those timings would be meaningless
+            print("bench: --profile cannot be combined with --smoke "
+                  "or --csv", file=sys.stderr)
+            raise SystemExit(2)
+        profile_path = perf.output_path().parent / "replay_profile.prof"
     result = perf.run_pipeline_benchmark(
         app=args.app, nranks=args.nranks, iterations=iterations,
+        profile_path=profile_path,
     )
+    if args.profile:
+        print(result.pop("profile_top"))
+        print(f"[replay cProfile stats written to {result['profile_path']}]",
+              file=sys.stderr)
     print(perf.format_benchmark(result))
+    if args.profile:
+        # profiled stage timings are inflated several-fold; never let
+        # them overwrite the last clean recording
+        print("[benchmark JSON not written: timings include cProfile "
+              "overhead]", file=sys.stderr)
+        return
     out = perf.output_path()
     perf.write_benchmark(result, out)
     print(f"[benchmark written to {out}]", file=sys.stderr)
@@ -314,6 +336,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compare against the recorded reference JSON and "
                         "fail on a >3x stage slowdown (iterations "
                         "defaults to 10)")
+    p.add_argument("--profile", action="store_true",
+                   help="capture the replay stages under cProfile, print "
+                        "the top functions and dump the stats next to the "
+                        "benchmark output")
     common(p)
     p.set_defaults(func=_cmd_bench)
 

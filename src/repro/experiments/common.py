@@ -38,6 +38,13 @@ outermost in:
   ``TracePlan.rebind_displacement``, so Figs. 7-9 pay one planning pass
   instead of three.  Only the managed replay itself runs per
   displacement.
+* **shared fabric** — topology construction and static route/hop-table
+  compilation are displacement-independent too: ``run_cell`` builds one
+  fabric per cell (``fabric_for``) and every replay — the baseline and
+  each managed run — ``reset()``s it instead of rebuilding, so compiled
+  routes are paid for once per cell.  The replay itself runs on the
+  fast kernel (memoised collective schedules, precompiled routes,
+  batched link accounting; see :mod:`repro.sim`).
 
 Environment knobs:
 
@@ -70,8 +77,16 @@ from ..core import (
     plan_trace_directives_shared,
     select_gt_detailed,
 )
+from ..network.fabric import Fabric
 from ..power.states import WRPSParams
-from ..sim import BaselineResult, ManagedResult, ReplayConfig, replay_baseline, replay_managed
+from ..sim import (
+    BaselineResult,
+    ManagedResult,
+    ReplayConfig,
+    fabric_for,
+    replay_baseline,
+    replay_managed,
+)
 from ..workloads import PROCESS_COUNTS, make_trace
 
 
@@ -97,6 +112,9 @@ class CellResult:
     gt_sweep: tuple[GTEvaluation, ...] = ()
     #: displacement-independent planning pass, shared by all managed runs
     plan: TracePlan | None = None
+    #: the cell's fabric, built once and reset between replays (routes
+    #: and compiled hop tables are displacement-independent)
+    fabric: Fabric | None = None
 
     @property
     def gt_us(self) -> float:
@@ -118,6 +136,12 @@ _CACHE: dict[tuple, CellResult] = {}
 
 def clear_cache() -> None:
     _CACHE.clear()
+    # the memoised collective schedules grow with every distinct
+    # (kind, rank, nranks, size) shape the cells replayed; free them
+    # together with the cells so long sweep sessions stay bounded
+    from ..sim.collectives import clear_schedule_cache
+
+    clear_schedule_cache()
 
 
 def run_cell(
@@ -143,7 +167,11 @@ def run_cell(
     cell = _CACHE.get(key) if use_cache else None
     if cell is None:
         trace = make_trace(app, nranks, iterations=iters, seed=seed, scaling=scaling)
-        baseline = replay_baseline(trace, ReplayConfig(seed=seed))
+        replay_cfg = ReplayConfig(seed=seed)
+        # one fabric per cell: construction and route compilation are
+        # shared by the baseline and every managed replay (reset between)
+        fabric = fabric_for(nranks, replay_cfg)
+        baseline = replay_baseline(trace, replay_cfg, fabric=fabric)
         selection = select_gt_detailed(baseline.event_logs)
         cell = CellResult(
             app=app,
@@ -154,6 +182,7 @@ def run_cell(
             gt=selection.best,
             runtime_stats=[],
             gt_sweep=selection.sweep,
+            fabric=fabric,
         )
         if use_cache:
             _CACHE[key] = cell
@@ -180,6 +209,8 @@ def run_cell(
             cell.plan = plan_trace_directives_shared(
                 cell.baseline.event_logs, cfg
             )
+        if cell.fabric is None:
+            cell.fabric = fabric_for(nranks, ReplayConfig(seed=seed))
         for disp in missing:
             directives, stats = cell.plan.rebind_displacement(disp)
             managed = replay_managed(
@@ -191,10 +222,17 @@ def run_cell(
                 config=ReplayConfig(seed=seed),
                 wrps=params,
                 runtime_stats=stats,
+                fabric=cell.fabric,
             )
             cell.managed[disp] = managed
             if not cell.runtime_stats:
                 cell.runtime_stats = stats
+    if cell.fabric is not None:
+        # drop the last replay's busy logs before the cell lingers in
+        # the cache — compiled routes/hop tables (the expensive,
+        # reusable part) survive the reset, the O(messages x hops)
+        # busy arrays do not
+        cell.fabric.reset()
     return cell
 
 

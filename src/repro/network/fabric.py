@@ -19,6 +19,18 @@ transfer wants to start, the transfer waits for that link's reactivation
 (the paper's misprediction penalty — the one remaining lane keeps
 connectivity, but the design waits for full width rather than crawling at
 1X, matching the paper's accounting of reactivation delays).
+
+Routing is *static per (src, dst) pair*: a :class:`~repro.network.routing.
+RouteTable` compiles each pair's up*/down* path once (random or d-mod-k
+ascent choices, seeded order-independently), mirroring how an IB subnet
+manager programs forwarding tables ahead of traffic.  On top of the path
+the fabric precompiles a flat per-pair hop table — ``(link, channel,
+switch)`` triples plus the pipelining constants — so the replay hot path
+never walks routing dicts or recomputes subtree arithmetic per message.
+:meth:`Fabric.transfer` executes that fast kernel; the straightforward
+per-message walk is kept as :meth:`Fabric.transfer_reference` (selected
+with ``use_fast_path=False``) and the two are property-tested to be
+bit-for-bit identical.
 """
 
 from __future__ import annotations
@@ -34,7 +46,13 @@ from ..constants import (
     SWITCH_HOP_LATENCY_US,
 )
 from .links import DirectedChannel, Link, LinkPowerMode
-from .routing import RandomRouter, Router, path_links
+from .routing import (
+    DeterministicRouter,
+    RandomRouter,
+    Router,
+    RouteTable,
+    path_links,
+)
 from .switches import Switch
 from .topology import NodeId, Topology, build_xgft, fitted_topology
 
@@ -43,9 +61,14 @@ def _edge_key(a: NodeId, b: NodeId) -> tuple[NodeId, NodeId]:
     return (a, b) if a <= b else (b, a)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class TransferTiming:
-    """Outcome of pushing one message through the fabric."""
+    """Outcome of pushing one message through the fabric.
+
+    Mutable-slots on purpose: frozen dataclasses assign fields through
+    ``object.__setattr__`` and one timing is built per message on the
+    replay hot path.  Treat instances as read-only all the same.
+    """
 
     depart_us: float        # when the first byte leaves the source HCA
     arrive_us: float        # when the last byte reaches the destination
@@ -73,6 +96,11 @@ class Fabric:
     links: dict[tuple[NodeId, NodeId], Link] = field(default_factory=dict)
     switches: dict[NodeId, Switch] = field(default_factory=dict)
     messages_sent: int = 0
+    #: compiled static routes; derived from ``router`` when not given
+    routes: RouteTable | None = None
+    #: select the flat-hop-table kernel (True) or the reference
+    #: per-message walk (False); both are bit-for-bit identical
+    use_fast_path: bool = True
 
     def __post_init__(self) -> None:
         if not self.links:
@@ -85,6 +113,19 @@ class Fabric:
                 for end in link.endpoints:
                     if not end.is_host:
                         self.switches[end].attach(link)
+        if self.routes is None:
+            if isinstance(self.router, RandomRouter) and self.router.seed is not None:
+                self.routes = RouteTable(self.topo, seed=self.router.seed)
+            elif isinstance(self.router, DeterministicRouter):
+                self.routes = RouteTable(self.topo, seed=None)
+            else:
+                # custom router, or a RandomRouter around an unseeded
+                # generator: compile pairs through the router itself
+                self.routes = RouteTable(self.topo, router=self.router)
+        #: per-(src, dst) flat hop tables: tuple of (link, channel,
+        #: switch-or-None, segment_time_us) hops, keyed src*H+dst
+        self._hops: dict[int, tuple] = {}
+        self._num_hosts = self.topo.num_hosts
 
     # -- construction helpers ----------------------------------------------
 
@@ -104,8 +145,6 @@ class Fabric:
         if random_routing:
             router = RandomRouter.seeded(topo, seed)
         else:
-            from .routing import DeterministicRouter
-
             router = DeterministicRouter(topo)
         return cls(topo=topo, router=router)
 
@@ -135,6 +174,22 @@ class Fabric:
     def segment_time_us(self, channel: DirectedChannel) -> float:
         return self.segment_bytes / channel.bandwidth_bytes_per_us
 
+    def _compile_hops(self, src_host: int, dst_host: int) -> tuple:
+        """Flatten one pair's static route into per-hop records."""
+
+        path = self.routes.path(src_host, dst_host)
+        hops = []
+        for tail, head in path_links(path):
+            link = self.link_between(tail, head)
+            channel = link.channel(tail)
+            switch = None if head.is_host else self.switches[head]
+            hops.append(
+                (link, channel, switch, self.segment_time_us(channel))
+            )
+        compiled = tuple(hops)
+        self._hops[src_host * self._num_hosts + dst_host] = compiled
+        return compiled
+
     def transfer(
         self,
         src_host: int,
@@ -156,6 +211,11 @@ class Fabric:
         recorded on every traversed channel.
         """
 
+        if not self.use_fast_path:
+            return self.transfer_reference(
+                src_host, dst_host, size_bytes, earliest_us,
+                on_power_block=on_power_block,
+            )
         if size_bytes < 0:
             raise ValueError("negative message size")
         self.messages_sent += 1
@@ -166,7 +226,76 @@ class Fabric:
                 earliest_us, arrive, self.mpi_latency_us, 0.0, 0, arrive
             )
 
-        path = self.router.route(src_host, dst_host)
+        route = self._hops.get(src_host * self._num_hosts + dst_host)
+        if route is None:
+            route = self._compile_hops(src_host, dst_host)
+        size = max(1, size_bytes)
+
+        # software injection latency happens before the wire
+        head_ready = earliest_us + self.mpi_latency_us
+        hop_latency = self.hop_latency_us
+        power_wait = 0.0
+        depart = None
+        src_release = None
+        channel = None
+        for link, channel, switch, seg_time in route:
+            if link.mode is not LinkPowerMode.FULL:
+                if on_power_block is not None:
+                    usable = on_power_block(link, head_ready)
+                else:
+                    usable = link.ready_time(head_ready)
+                if usable > head_ready:
+                    power_wait += usable - head_ready
+                    head_ready = usable
+            start, end = channel.reserve(head_ready, size)
+            if depart is None:
+                depart = start
+                src_release = end
+            if switch is not None:
+                switch.record_forward(size)
+            # head of the message reaches the next hop after one segment
+            # plus the switch traversal latency
+            head_ready = (
+                start
+                + min(seg_time, size / channel.bandwidth_bytes_per_us)
+                + hop_latency
+            )
+
+        assert depart is not None and src_release is not None
+        # the last byte arrives when the final channel finishes serialising
+        arrive = channel.next_free_us
+        return TransferTiming(
+            depart_us=depart,
+            arrive_us=arrive,
+            wire_us=arrive - depart,
+            power_wait_us=power_wait,
+            hops=len(route),
+            src_release_us=src_release,
+        )
+
+    def transfer_reference(
+        self,
+        src_host: int,
+        dst_host: int,
+        size_bytes: int,
+        earliest_us: float,
+        *,
+        on_power_block=None,
+    ) -> TransferTiming:
+        """Reference kernel: per-message route walk over the same static
+        routes (the equivalence oracle for :meth:`transfer`)."""
+
+        if size_bytes < 0:
+            raise ValueError("negative message size")
+        self.messages_sent += 1
+        if src_host == dst_host:
+            # loopback: no network involvement, only the software latency
+            arrive = earliest_us + self.mpi_latency_us
+            return TransferTiming(
+                earliest_us, arrive, self.mpi_latency_us, 0.0, 0, arrive
+            )
+
+        path = self.routes.path(src_host, dst_host)
         hops = len(path) - 1
         size = max(1, size_bytes)
 
@@ -241,6 +370,16 @@ class Fabric:
         }
 
     def reset(self) -> None:
+        """Clear all per-replay state so the fabric can be reused.
+
+        Links (channels, busy logs, power mode, ``t_react_us``), switch
+        traffic counters and the message counter are cleared; the static
+        route table and compiled hop tables survive — routes are a
+        property of (topology, seed), not of a run — which is exactly
+        what makes back-to-back replays on one fabric equal fresh-fabric
+        replays.
+        """
+
         for link in self.links.values():
             link.reset()
         for sw in self.switches.values():

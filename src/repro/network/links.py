@@ -39,13 +39,24 @@ class LinkPowerMode(enum.Enum):
 
 @dataclass(slots=True)
 class DirectedChannel:
-    """One direction of a link: serialisation point with a busy log."""
+    """One direction of a link: serialisation point with a busy log.
+
+    Busy intervals are recorded as two flat float arrays (starts, ends)
+    appended to on the replay hot path; the tuple-of-pairs view with
+    adjacent intervals coalesced — what the idle/utilisation analyses
+    consume — is aggregated lazily by :attr:`busy_log`.  Reservations are
+    FIFO, so the raw start array is already nondecreasing and deferred
+    coalescing produces exactly the log the eager per-append merge used
+    to build.
+    """
 
     name: str
     bandwidth_bytes_per_us: float = LINK_BANDWIDTH_BYTES_PER_US
     next_free_us: float = 0.0
-    busy_log: list[tuple[float, float]] = field(default_factory=list)
     bytes_carried: int = 0
+    #: raw (uncoalesced) busy interval bounds, appended per reservation
+    busy_starts: list[float] = field(default_factory=list)
+    busy_ends: list[float] = field(default_factory=list)
 
     def serialization_time(self, size_bytes: int) -> float:
         return size_bytes / self.bandwidth_bytes_per_us
@@ -59,25 +70,42 @@ class DirectedChannel:
         """
 
         start = max(earliest_us, self.next_free_us)
-        end = start + self.serialization_time(size_bytes)
+        end = start + size_bytes / self.bandwidth_bytes_per_us
         self.next_free_us = end
         self.bytes_carried += size_bytes
-        if self.busy_log and abs(self.busy_log[-1][1] - start) < 1e-12:
-            s0, _ = self.busy_log[-1]
-            self.busy_log[-1] = (s0, end)
-        else:
-            self.busy_log.append((start, end))
+        self.busy_starts.append(start)
+        self.busy_ends.append(end)
         return start, end
+
+    @property
+    def busy_log(self) -> list[tuple[float, float]]:
+        """Busy intervals with back-to-back reservations coalesced."""
+
+        log: list[tuple[float, float]] = []
+        last_start = last_end = None
+        for start, end in zip(self.busy_starts, self.busy_ends):
+            if last_end is not None and abs(last_end - start) < 1e-12:
+                last_end = end
+                log[-1] = (last_start, end)
+            else:
+                last_start, last_end = start, end
+                log.append((start, end))
+        return log
+
+    def busy_us(self) -> float:
+        """Total busy time (coalescing-invariant sum of interval widths)."""
+
+        return sum(e - s for s, e in zip(self.busy_starts, self.busy_ends))
 
     def utilization(self, t_end_us: float) -> float:
         if t_end_us <= 0:
             return 0.0
-        busy = sum(e - s for s, e in self.busy_log)
-        return min(1.0, busy / t_end_us)
+        return min(1.0, self.busy_us() / t_end_us)
 
     def reset(self) -> None:
         self.next_free_us = 0.0
-        self.busy_log.clear()
+        self.busy_starts.clear()
+        self.busy_ends.clear()
         self.bytes_carried = 0
 
 
@@ -147,8 +175,16 @@ class Link:
         return now_us + self.t_react_us
 
     def reset(self) -> None:
+        """Return the link to its just-constructed state.
+
+        Restores ``t_react_us`` too: a managed replay retunes it per
+        :class:`~repro.power.states.WRPSParams`, and a reused fabric must
+        not leak one run's reactivation latency into the next.
+        """
+
         self.mode = LinkPowerMode.FULL
         self.reactivation_done_us = 0.0
+        self.t_react_us = T_REACT_US
         self.forward.reset()
         self.backward.reset()
 

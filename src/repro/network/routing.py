@@ -19,7 +19,8 @@ subtree), so no graph search is needed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Protocol, Sequence
 
 import numpy as np
@@ -138,14 +139,21 @@ def _updown_route(
 
 @dataclass
 class RandomRouter:
-    """Random up*/down* routing (the paper's Table II scheme)."""
+    """Random up*/down* routing (the paper's Table II scheme).
+
+    ``route`` draws a fresh path per call from the shared ``rng``; the
+    fabric's :class:`RouteTable` freezes one draw per (src, dst) pair
+    instead, keyed off ``seed`` (kept here so the table can re-derive
+    pair streams without consuming this generator).
+    """
 
     topo: Topology
     rng: np.random.Generator
+    seed: int | None = None
 
     @classmethod
     def seeded(cls, topo: Topology, seed: int = 0) -> "RandomRouter":
-        return cls(topo, np.random.default_rng(seed))
+        return cls(topo, np.random.default_rng(seed), seed)
 
     def route(self, src_host: int, dst_host: int) -> list[NodeId]:
         def chooser(candidates: Sequence[NodeId]) -> NodeId:
@@ -167,6 +175,79 @@ class DeterministicRouter:
     def route(self, src_host: int, dst_host: int) -> list[NodeId]:
         def chooser(candidates: Sequence[NodeId]) -> NodeId:
             return candidates[dst_host % len(candidates)]
+
+        return _updown_route(self.topo, src_host, dst_host, chooser)
+
+
+@dataclass
+class RouteTable:
+    """Static per-(src, dst) routes, the fabric's precompiled view.
+
+    Real IB subnet managers program *static* destination routes into the
+    forwarding tables once; the per-message re-rolls of
+    :class:`RandomRouter` model the route *assignment* being random, not
+    per-packet spraying.  The table realises that: each (src, dst) pair
+    gets one fixed up*/down* path, compiled on first use.
+
+    Determinism is order-independent: the ascent choices of a pair are
+    drawn from a PRNG stream seeded by ``(seed, src, dst)``, never from a
+    shared sequential stream, so the compiled route of a pair is a pure
+    function of the table's seed — identical no matter how many replays
+    ran before or which pairs compiled first.  ``seed=None`` selects the
+    d-mod-k deterministic choices of :class:`DeterministicRouter`
+    instead.
+
+    ``router`` is the fallback strategy for routers the table cannot
+    re-derive per pair (a custom :class:`Router`, or a
+    :class:`RandomRouter` built around an unseeded generator): missing
+    paths are then computed by ``router.route``, so route assignment
+    depends on the order pairs are first used — still deterministic for
+    a fixed traffic pattern.
+
+    ``pairs_compiled`` / ``compile_seconds`` instrument the lazy
+    compilation for the perf benchmark's replay detail.
+    """
+
+    topo: Topology
+    seed: int | None = None
+    router: Router | None = None
+    pairs_compiled: int = 0
+    compile_seconds: float = 0.0
+    _paths: dict[tuple[int, int], tuple[NodeId, ...]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def path(self, src_host: int, dst_host: int) -> tuple[NodeId, ...]:
+        """The static vertex path of one host pair (compiled once)."""
+
+        key = (src_host, dst_host)
+        cached = self._paths.get(key)
+        if cached is None:
+            t0 = time.perf_counter()
+            cached = tuple(self._compile(src_host, dst_host))
+            self._paths[key] = cached
+            self.pairs_compiled += 1
+            self.compile_seconds += time.perf_counter() - t0
+        return cached
+
+    def route(self, src_host: int, dst_host: int) -> list[NodeId]:
+        """Router-protocol adapter over :meth:`path`."""
+
+        return list(self.path(src_host, dst_host))
+
+    def _compile(self, src_host: int, dst_host: int) -> list[NodeId]:
+        if self.router is not None:
+            return self.router.route(src_host, dst_host)
+        if self.seed is None:
+            def chooser(candidates: Sequence[NodeId]) -> NodeId:
+                return candidates[dst_host % len(candidates)]
+        else:
+            rng = np.random.default_rng(
+                (self.seed & 0xFFFFFFFFFFFFFFFF, src_host, dst_host)
+            )
+
+            def chooser(candidates: Sequence[NodeId]) -> NodeId:
+                return candidates[int(rng.integers(len(candidates)))]
 
         return _updown_route(self.topo, src_host, dst_host, chooser)
 

@@ -6,9 +6,48 @@ The Dimemas+Venus co-simulation of the paper, in two layers:
   and MPI semantics (matching, eager/rendezvous, collectives);
 * :mod:`repro.sim.dimemas` — the trace replay drivers used by every
   experiment (baseline and managed runs).
+
+Replay architecture (the fast kernel)
+-------------------------------------
+
+A replay pushes every traced MPI operation through four layers; each one
+precomputes or pools whatever is invariant across the run so that the
+per-message hot path touches only flat, already-compiled state:
+
+1. **Collective expansion** (:mod:`repro.sim.collectives`) — a
+   collective's point-to-point schedule is a pure function of
+   ``(kind, rank, nranks, size, root)``; it is memoised once per shape
+   with *relative* tags and rebased per instance
+   (``base_tag_for(instance)``), so a collective occurring thousands of
+   times in a trace expands exactly once.  Relative tags are validated
+   against ``COLLECTIVE_TAG_STRIDE`` so rebased instances never collide.
+2. **Matching + protocol** (:mod:`repro.sim.mpi`) — posted/unexpected
+   queues with eager and rendezvous protocols.  Envelopes and the
+   per-operation completion :class:`~repro.sim.engine.Signal` objects
+   are recycled through free-lists once the matching layer has fully
+   consumed them, so steady-state replay allocates no per-message
+   objects.
+3. **The fabric** (:mod:`repro.network.fabric`) — routes are *static
+   per (src, dst) pair* (an IB subnet manager programs forwarding tables
+   ahead of traffic): a seeded, order-independent
+   :class:`~repro.network.routing.RouteTable` compiles each pair once,
+   and the fabric flattens it into per-pair ``(link, channel, switch)``
+   hop tables.  ``Fabric.transfer`` walks that flat table; the
+   per-message route walk is kept as ``Fabric.transfer_reference``
+   (``ReplayConfig(kernel="reference")``) and property-tested bit-for-bit
+   identical.  Channel busy intervals append to flat start/end arrays;
+   coalescing and utilisation/energy aggregation are deferred to query
+   time.
+4. **The DES engine** (:mod:`repro.sim.engine`) — plain-tuple heap
+   entries, no per-event closures, pooled signals.
+
+Drivers reuse fabrics across replays (``fabric_for`` + the ``fabric=``
+parameter of the replay entry points): construction and route
+compilation are run-invariant, and :meth:`Fabric.reset` clears the rest,
+with back-to-back-equals-fresh covered by regression tests.
 """
 
-from .dimemas import ReplayConfig, replay_baseline, replay_managed
+from .dimemas import ReplayConfig, fabric_for, replay_baseline, replay_managed
 from .engine import AllOf, Delay, Engine, Signal, SimulationError
 from .mpi import MPIWorld, RankDirective
 from .results import BaselineResult, ManagedResult
@@ -21,6 +60,7 @@ from .venus import (
 
 __all__ = [
     "ReplayConfig",
+    "fabric_for",
     "replay_baseline",
     "replay_managed",
     "AllOf",

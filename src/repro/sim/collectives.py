@@ -25,6 +25,16 @@ Algorithms (standard choices, cf. MPICH/Open MPI):
 Tags: each collective instance gets a unique base tag so that message
 matching can never confuse rounds of different collectives (or different
 rounds of the same collective).
+
+Schedule memoisation: the algorithms above are pure functions of
+``(kind, rank, nranks, size, root)`` — the instance number only shifts
+the tag space.  :func:`schedule_steps` therefore caches one *relative*
+schedule (tags counted from 0) per shape and the replay engine rebases
+tags by ``base_tag(instance)`` at execution time, so a collective that
+occurs thousands of times in a trace is expanded exactly once.  Every
+cached schedule is validated to keep its relative tags inside
+``[0, COLLECTIVE_TAG_STRIDE)`` so rebased tag ranges of consecutive
+instances can never collide.
 """
 
 from __future__ import annotations
@@ -301,6 +311,75 @@ _ROOTED = frozenset(
 )
 
 
+#: memoised relative schedules, keyed (call, rank, nranks, size, root)
+_SCHEDULE_CACHE: dict[tuple, tuple[Step, ...]] = {}
+
+#: cache instrumentation surfaced by ``repro.perf`` (replay detail)
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def schedule_cache_stats() -> dict[str, int]:
+    """Snapshot of the schedule-cache hit/miss counters."""
+
+    return dict(_CACHE_STATS)
+
+
+def clear_schedule_cache() -> None:
+    """Drop memoised schedules and zero the hit/miss counters."""
+
+    _SCHEDULE_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def base_tag_for(instance: int) -> int:
+    """The tag-space origin of one collective instance."""
+
+    return COLLECTIVE_TAG_BASE + instance * COLLECTIVE_TAG_STRIDE
+
+
+def schedule_steps(
+    call: MPICall,
+    rank: int,
+    nranks: int,
+    size_bytes: int,
+    root: int = 0,
+) -> tuple[Step, ...]:
+    """The memoised *relative* schedule of one collective shape.
+
+    Tags are counted from 0; callers rebase them by
+    :func:`base_tag_for` per instance.  The cached schedule is validated
+    once: every relative tag must lie in ``[0, COLLECTIVE_TAG_STRIDE)``,
+    which guarantees the rebased tag ranges of consecutive instances are
+    disjoint.
+    """
+
+    key = (call, rank, nranks, size_bytes, root)
+    cached = _SCHEDULE_CACHE.get(key)
+    if cached is not None:
+        _CACHE_STATS["hits"] += 1
+        return cached
+    try:
+        fn = _SCHEDULES[call]
+    except KeyError:
+        raise ValueError(f"no schedule for collective {call!r}") from None
+    if call in _ROOTED:
+        steps = fn(rank, nranks, size_bytes, 0, root)
+    else:
+        steps = fn(rank, nranks, size_bytes, 0)
+    for step in steps:
+        if not 0 <= step.tag < COLLECTIVE_TAG_STRIDE:
+            raise AssertionError(
+                f"{call.name} schedule uses relative tag {step.tag} outside "
+                f"[0, {COLLECTIVE_TAG_STRIDE}); consecutive instances would "
+                "share tags"
+            )
+    cached = tuple(steps)
+    _SCHEDULE_CACHE[key] = cached
+    _CACHE_STATS["misses"] += 1
+    return cached
+
+
 def schedule_for(
     call: MPICall,
     rank: int,
@@ -312,17 +391,17 @@ def schedule_for(
     """The p2p schedule of ``rank`` for one collective instance.
 
     ``instance`` is a per-communicator sequence number; it isolates the
-    tag space of each collective occurrence.
+    tag space of each collective occurrence.  This is the compatibility
+    wrapper over :func:`schedule_steps`: it materialises absolute-tag
+    :class:`Step` objects; the replay hot path rebases the cached
+    relative tags in place instead.
     """
 
-    try:
-        fn = _SCHEDULES[call]
-    except KeyError:
-        raise ValueError(f"no schedule for collective {call!r}") from None
-    base_tag = COLLECTIVE_TAG_BASE + instance * COLLECTIVE_TAG_STRIDE
-    if call in _ROOTED:
-        return fn(rank, nranks, size_bytes, base_tag, root)
-    return fn(rank, nranks, size_bytes, base_tag)
+    base = base_tag_for(instance)
+    return [
+        Step(s.kind, s.peer, s.size_bytes, s.tag + base, s.concurrent)
+        for s in schedule_steps(call, rank, nranks, size_bytes, root)
+    ]
 
 
 def validate_schedule(call: MPICall, nranks: int, size: int = 8) -> list[str]:

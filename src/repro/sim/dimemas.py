@@ -34,25 +34,65 @@ from .results import BaselineResult, ManagedResult
 
 @dataclass(frozen=True, slots=True)
 class ReplayConfig:
-    """Knobs of one replay (defaults = the paper's Table II)."""
+    """Knobs of one replay (defaults = the paper's Table II).
+
+    ``kernel`` selects the fabric transfer implementation: ``"fast"``
+    (the precompiled-route flat-hop-table kernel) or ``"reference"``
+    (the straightforward per-message route walk).  The two are
+    bit-for-bit identical; the reference kernel exists as the
+    equivalence oracle for the property tests.
+    """
 
     seed: int = 0
     hosts_per_leaf: int = 18
     random_routing: bool = True
     eager_threshold_bytes: int = EAGER_THRESHOLD_BYTES
     cpu_speedup: float = 1.0
+    kernel: str = "fast"
+
+
+def fabric_for(nranks: int, config: ReplayConfig | None = None) -> Fabric:
+    """Build the fabric one replay of ``config`` would build.
+
+    Exposed so drivers can construct the fabric once and pass it to
+    several replays (``fabric=`` below): construction and route
+    compilation are displacement-independent, only the per-replay busy /
+    power state differs, and :meth:`Fabric.reset` clears that.
+    """
+
+    cfg = config or ReplayConfig()
+    fabric = Fabric.for_ranks(
+        nranks,
+        seed=cfg.seed,
+        hosts_per_leaf=cfg.hosts_per_leaf,
+        random_routing=cfg.random_routing,
+    )
+    # remember the build parameters so a later replay with a different
+    # config cannot silently run on the wrong topology/routes
+    fabric.build_signature = (cfg.seed, cfg.hosts_per_leaf, cfg.random_routing)
+    return fabric
 
 
 def _build_world(
-    trace: Trace, config: ReplayConfig, power_hook=None
+    trace: Trace,
+    config: ReplayConfig,
+    power_hook=None,
+    fabric: Fabric | None = None,
 ) -> tuple[Engine, Fabric, MPIWorld]:
     engine = Engine()
-    fabric = Fabric.for_ranks(
-        trace.nranks,
-        seed=config.seed,
-        hosts_per_leaf=config.hosts_per_leaf,
-        random_routing=config.random_routing,
-    )
+    if fabric is None:
+        fabric = fabric_for(trace.nranks, config)
+    else:
+        expected = (config.seed, config.hosts_per_leaf, config.random_routing)
+        signature = getattr(fabric, "build_signature", None)
+        if signature is not None and signature != expected:
+            raise ValueError(
+                f"fabric was built for (seed, hosts_per_leaf, "
+                f"random_routing)={signature}, replay config wants "
+                f"{expected}; build a matching fabric with fabric_for()"
+            )
+        fabric.reset()
+    fabric.use_fast_path = config.kernel != "reference"
     world = MPIWorld(
         engine,
         fabric,
@@ -65,12 +105,19 @@ def _build_world(
 
 
 def replay_baseline(
-    trace: Trace, config: ReplayConfig | None = None
+    trace: Trace,
+    config: ReplayConfig | None = None,
+    *,
+    fabric: Fabric | None = None,
 ) -> BaselineResult:
-    """Replay with always-on links; returns timing and event streams."""
+    """Replay with always-on links; returns timing and event streams.
+
+    ``fabric`` reuses a pre-built (matching) fabric: it is reset, not
+    rebuilt, so compiled routes and hop tables are shared across runs.
+    """
 
     cfg = config or ReplayConfig()
-    engine, fabric, world = _build_world(trace, cfg)
+    engine, fabric, world = _build_world(trace, cfg, fabric=fabric)
     for proc in trace.processes:
         engine.spawn(
             world.rank_program(proc.rank, proc.records), name=f"rank{proc.rank}"
@@ -96,13 +143,16 @@ def replay_managed(
     config: ReplayConfig | None = None,
     wrps: WRPSParams | None = None,
     runtime_stats: Sequence | None = None,
+    fabric: Fabric | None = None,
 ) -> ManagedResult:
     """Replay with the power mechanism's directives applied.
 
     ``directives[rank]`` maps MPI-call index to :class:`RankDirective`.
     Each rank's HCA link becomes a :class:`ManagedLink`; transfers that
     find a link below full width pay the reactivation penalty through the
-    fabric's power hook.
+    fabric's power hook.  ``fabric`` reuses a pre-built fabric (reset,
+    not rebuilt) — ``run_cell`` passes one fabric to the baseline replay
+    and every per-displacement managed replay of a cell.
     """
 
     if len(directives) != trace.nranks:
@@ -120,7 +170,9 @@ def replay_managed(
             return link.ready_time(t_us)
         return ml.request_full(t_us)
 
-    engine, fabric, world = _build_world(trace, cfg, power_hook=power_hook)
+    engine, fabric, world = _build_world(
+        trace, cfg, power_hook=power_hook, fabric=fabric
+    )
 
     rank_links: list[ManagedLink] = []
     for rank in range(trace.nranks):

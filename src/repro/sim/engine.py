@@ -15,7 +15,10 @@ tuples (heapq orders on the first two fields; ``seq`` is unique so the
 payload is never compared) and the engine schedules bound methods with an
 explicit argument instead of allocating a closure per event.  Processes
 waiting on a :class:`Signal` are stored directly in the waiter list, so
-the resume path allocates nothing beyond the heap tuple itself.
+the resume path allocates nothing beyond the heap tuple itself.  Signals
+are pooled: :meth:`Engine.recycle_signal` returns a fired, fully-drained
+signal to a free-list that :meth:`Engine.new_signal` reuses, so steady-
+state replay allocates no new Signal objects per message.
 """
 
 from __future__ import annotations
@@ -134,6 +137,7 @@ class Engine:
         self._seq = itertools.count()
         self._processes: list[_Process] = []
         self._active = 0
+        self._signal_pool: list[Signal] = []
 
     # -- public API ----------------------------------------------------------
 
@@ -195,7 +199,29 @@ class Engine:
         return self.now
 
     def new_signal(self, name: str = "") -> Signal:
+        pool = self._signal_pool
+        if pool:
+            sig = pool.pop()
+            sig.name = name
+            sig.fired = False
+            sig.value = None
+            return sig
         return Signal(self, name)
+
+    def recycle_signal(self, sig: Signal) -> None:
+        """Return a signal to the free-list for :meth:`new_signal` reuse.
+
+        Contract: only recycle a signal that has *fired* and whose every
+        waiter has already been resumed — i.e. after the recycling
+        process itself was woken by it and no other process or queue
+        entry can still reference it.  An unfired or still-watched signal
+        is silently kept alive instead (recycling it would corrupt the
+        waiter that eventually resumes).
+        """
+
+        if not sig.fired or sig._waiters:
+            return
+        self._signal_pool.append(sig)
 
     @property
     def unfinished(self) -> int:

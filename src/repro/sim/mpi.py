@@ -149,7 +149,44 @@ class MPIWorld:
         self.cpu_speedup = cpu_speedup
         self.ranks = [_RankContext(r) for r in range(nranks)]
         self.event_logs: list[list[MPIEvent]] = [[] for _ in range(nranks)]
-        self._subproc_count = 0
+        #: free-list of dead envelopes (consumed by the matching layer)
+        self._env_pool: list[_Envelope] = []
+        # per-rank helper-process names, precomputed so deadlock reports
+        # identify the blocked rank without a per-op f-string
+        self._isend_names = [f"isend{r}" for r in range(nranks)]
+        self._irecv_names = [f"irecv{r}" for r in range(nranks)]
+
+    # -------------------------------------------------------------- pooling
+
+    def _new_envelope(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        size_bytes: int,
+        is_rts: bool = False,
+        data_signal: Signal | None = None,
+        cts_signal: Signal | None = None,
+    ) -> _Envelope:
+        pool = self._env_pool
+        if pool:
+            env = pool.pop()
+            env.src = src
+            env.dst = dst
+            env.tag = tag
+            env.size_bytes = size_bytes
+            env.is_rts = is_rts
+            env.data_signal = data_signal
+            env.cts_signal = cts_signal
+            return env
+        return _Envelope(src, dst, tag, size_bytes, is_rts, data_signal, cts_signal)
+
+    def _recycle_envelope(self, env: _Envelope) -> None:
+        """Free an envelope the matching layer has fully consumed."""
+
+        env.data_signal = None
+        env.cts_signal = None
+        self._env_pool.append(env)
 
     # ------------------------------------------------------------------ rank
 
@@ -211,41 +248,43 @@ class MPIWorld:
     def _deliver(self, env: _Envelope, t_us: float) -> None:
         """Schedule envelope delivery into the receiver's matching layer."""
 
-        def arrive() -> None:
-            ctx = self.ranks[env.dst]
-            posted = ctx.pop_posted(env.src, env.tag)
-            if posted is None:
-                ctx.add_unexpected(env)
-                return
-            if env.is_rts:
-                assert env.cts_signal is not None
-                env.cts_signal.fire(self.engine.now)
-                # the posted recv completes when the payload lands
-                assert env.data_signal is not None
-                env.data_signal.add_callback(posted.signal.fire)
-            else:
-                posted.signal.fire(self.engine.now)
+        self.engine._schedule(t_us, self._arrive, env)
 
-        self.engine.call_at(t_us, arrive)
+    def _arrive(self, env: _Envelope) -> None:
+        ctx = self.ranks[env.dst]
+        posted = ctx.pop_posted(env.src, env.tag)
+        if posted is None:
+            ctx.add_unexpected(env)
+            return
+        if env.is_rts:
+            assert env.cts_signal is not None
+            env.cts_signal.fire(self.engine.now)
+            # the posted recv completes when the payload lands
+            assert env.data_signal is not None
+            env.data_signal.add_callback(posted.signal.fire)
+        else:
+            posted.signal.fire(self.engine.now)
+        self._recycle_envelope(env)
 
     def _send(self, rank: int, dst: int, size: int, tag: int):
         """Blocking-send generator (eager or rendezvous)."""
 
         engine = self.engine
         if size <= self.eager_threshold:
+            # eager: the receiver completes off the envelope's arrival
+            # event alone — no payload signal is needed, the matching
+            # layer fires the posted recv (or queues the envelope)
             timing = self._transfer(rank, dst, size, engine.now)
-            env = _Envelope(rank, dst, tag, size)
-            env.data_signal = engine.new_signal()
-            env.data_signal.fire_at(timing.arrive_us, timing.arrive_us)
+            env = self._new_envelope(rank, dst, tag, size)
             self._deliver(env, timing.arrive_us)
             release = max(engine.now, timing.src_release_us)
             yield Delay(release - engine.now)
             return
         # rendezvous
-        cts = engine.new_signal(f"cts-{rank}->{dst}#{tag}")
-        data = engine.new_signal(f"data-{rank}->{dst}#{tag}")
-        env = _Envelope(rank, dst, tag, size, is_rts=True,
-                        data_signal=data, cts_signal=cts)
+        cts = engine.new_signal("cts")
+        data = engine.new_signal("data")
+        env = self._new_envelope(rank, dst, tag, size, is_rts=True,
+                                 data_signal=data, cts_signal=cts)
         self._deliver(env, engine.now + MPI_LATENCY_US)  # RTS flight
         yield cts  # receiver matched; CTS flies back
         start = engine.now + MPI_LATENCY_US
@@ -257,38 +296,64 @@ class MPIWorld:
     def _recv(self, rank: int, src: int, tag: int):
         """Blocking-receive generator."""
 
+        engine = self.engine
         ctx = self.ranks[rank]
         env = ctx.pop_unexpected(src, tag)
         if env is None:
-            posted = _PostedRecv(self.engine.new_signal(f"recv-{rank}<-{src}#{tag}"))
-            ctx.add_posted(src, tag, posted)
-            yield posted.signal
+            sig = engine.new_signal("recv")
+            ctx.add_posted(src, tag, _PostedRecv(sig))
+            yield sig
+            # the signal's only waiter (this process) has been resumed
+            engine.recycle_signal(sig)
             return
         if env.is_rts:
-            assert env.cts_signal is not None and env.data_signal is not None
-            env.cts_signal.fire(self.engine.now)
-            yield env.data_signal
+            cts, data = env.cts_signal, env.data_signal
+            assert cts is not None and data is not None
+            self._recycle_envelope(env)
+            cts.fire(engine.now)
+            yield data
             return
         # eager payload already arrived; receive completes immediately
+        self._recycle_envelope(env)
 
     def _spawn_op(self, gen, kind: str) -> Signal:
         """Run an op generator as a helper process; returns completion signal."""
 
-        done = self.engine.new_signal(f"{kind}-done")
-        self._subproc_count += 1
+        done = self.engine.new_signal(kind)
 
         def runner():
             yield from gen
             done.fire(self.engine.now)
 
-        self.engine.spawn(runner(), name=f"{kind}#{self._subproc_count}")
+        self.engine.spawn(runner(), name=kind)
         return done
 
     def isend(self, rank: int, dst: int, size: int, tag: int) -> Signal:
-        return self._spawn_op(self._send(rank, dst, size, tag), f"isend{rank}")
+        """Nonblocking send; returns its completion signal.
+
+        Eager messages take a processless fast path: the payload is
+        injected into the fabric immediately (real eager isends hand the
+        buffer to the HCA at call time) and the completion signal is
+        scheduled for the source-drain time — no helper generator, no
+        spawned process.  Rendezvous sends need the CTS handshake and
+        keep the helper-process form.
+        """
+
+        if size <= self.eager_threshold:
+            engine = self.engine
+            timing = self._transfer(rank, dst, size, engine.now)
+            self._deliver(self._new_envelope(rank, dst, tag, size),
+                          timing.arrive_us)
+            done = engine.new_signal("isend")
+            release = max(engine.now, timing.src_release_us)
+            done.fire_at(release, release)
+            return done
+        return self._spawn_op(self._send(rank, dst, size, tag),
+                              self._isend_names[rank])
 
     def irecv(self, rank: int, src: int, tag: int) -> Signal:
-        return self._spawn_op(self._recv(rank, src, tag), f"irecv{rank}")
+        return self._spawn_op(self._recv(rank, src, tag),
+                              self._irecv_names[rank])
 
     # ------------------------------------------------------------ operations
 
@@ -309,11 +374,14 @@ class MPIWorld:
             pending, ctx.pending_requests = ctx.pending_requests, []
             if pending:
                 yield AllOf(pending)
+                for sig in pending:
+                    self.engine.recycle_signal(sig)
         elif call in (MPICall.SENDRECV, MPICall.SENDRECV_REPLACE):
             send_done = self.isend(rank, rec.peer, rec.size_bytes, rec.tag)
             src = rec.recv_peer if rec.recv_peer is not None else rec.peer
             yield from self._recv(rank, src, rec.tag)
             yield send_done
+            self.engine.recycle_signal(send_done)
         else:  # pragma: no cover
             raise SimulationError(f"unhandled point-to-point call {call!r}")
 
@@ -321,9 +389,12 @@ class MPIWorld:
         ctx = self.ranks[rank]
         instance = ctx.collective_instance
         ctx.collective_instance += 1
-        steps = coll.schedule_for(
-            rec.call, rank, self.nranks, rec.size_bytes, instance, rec.root
+        # memoised relative schedule for this shape; tags rebased per
+        # instance so occurrences never share tag space
+        steps = coll.schedule_steps(
+            rec.call, rank, self.nranks, rec.size_bytes, rec.root
         )
+        base_tag = coll.base_tag_for(instance)
         # software entry cost of the collective call itself
         yield Delay(MPI_LATENCY_US)
         pending: list[Signal] = []
@@ -331,11 +402,15 @@ class MPIWorld:
             if step.kind == "send":
                 if step.concurrent:
                     pending.append(
-                        self.isend(rank, step.peer, step.size_bytes, step.tag)
+                        self.isend(rank, step.peer, step.size_bytes,
+                                   step.tag + base_tag)
                     )
                 else:
-                    yield from self._send(rank, step.peer, step.size_bytes, step.tag)
+                    yield from self._send(rank, step.peer, step.size_bytes,
+                                          step.tag + base_tag)
             else:
-                yield from self._recv(rank, step.peer, step.tag)
+                yield from self._recv(rank, step.peer, step.tag + base_tag)
         if pending:
             yield AllOf(pending)
+            for sig in pending:
+                self.engine.recycle_signal(sig)

@@ -39,9 +39,10 @@ class LinkUsage:
 
 
 def link_usage(link: Link, t_end_us: float) -> LinkUsage:
-    busy_fwd = sum(e - s for s, e in link.forward.busy_log)
-    busy_bwd = sum(e - s for s, e in link.backward.busy_log)
-    busy = busy_fwd + busy_bwd
+    # allocation-free sums over the raw busy arrays (interval widths are
+    # coalescing-invariant); the merged busy_log view is only needed by
+    # gap-structure queries like host_link_idle_distribution
+    busy = link.forward.busy_us() + link.backward.busy_us()
     return LinkUsage(
         name=f"{link.a}-{link.b}",
         is_host_link=link.is_host_link,

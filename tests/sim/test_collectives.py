@@ -7,9 +7,14 @@ from hypothesis import given, settings, strategies as st
 
 from repro.sim.collectives import (
     COLLECTIVE_TAG_BASE,
+    COLLECTIVE_TAG_STRIDE,
     Step,
     _binomial_children,
+    base_tag_for,
+    clear_schedule_cache,
+    schedule_cache_stats,
     schedule_for,
+    schedule_steps,
     validate_schedule,
 )
 from repro.trace.events import MPICall
@@ -154,6 +159,62 @@ class TestShapes:
         assert [s.kind for s in first] == ["send"]
         assert [s.kind for s in mid] == ["recv", "send"]
         assert [s.kind for s in last] == ["recv"]
+
+
+class TestScheduleCache:
+    def test_same_shape_is_memoised(self):
+        clear_schedule_cache()
+        s1 = schedule_steps(MPICall.ALLREDUCE, 3, 16, 256)
+        s2 = schedule_steps(MPICall.ALLREDUCE, 3, 16, 256)
+        assert s1 is s2  # cached tuple, not a recomputation
+        stats = schedule_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_distinct_shapes_are_distinct_entries(self):
+        clear_schedule_cache()
+        schedule_steps(MPICall.BCAST, 1, 8, 64, root=0)
+        schedule_steps(MPICall.BCAST, 1, 8, 64, root=2)
+        schedule_steps(MPICall.BCAST, 1, 8, 128, root=0)
+        assert schedule_cache_stats()["misses"] == 3
+
+    def test_schedule_for_matches_rebased_cache(self):
+        for instance in (0, 1, 7):
+            rebased = schedule_for(MPICall.ALLTOALL, 2, 8, 64, instance)
+            rel = schedule_steps(MPICall.ALLTOALL, 2, 8, 64)
+            base = base_tag_for(instance)
+            assert [
+                (s.kind, s.peer, s.size_bytes, s.tag - base, s.concurrent)
+                for s in rebased
+            ] == [
+                (s.kind, s.peer, s.size_bytes, s.tag, s.concurrent)
+                for s in rel
+            ]
+
+
+class TestTagRebasing:
+    """Rebased tag ranges of consecutive instances must never collide."""
+
+    @pytest.mark.parametrize("call", ALL_COLLECTIVES)
+    @pytest.mark.parametrize("nranks", [2, 3, 4, 7, 8, 9, 16, 64])
+    def test_relative_tags_within_stride(self, call, nranks):
+        for rank in {0, 1, nranks // 2, nranks - 1}:
+            for step in schedule_steps(call, rank, nranks, 64):
+                assert 0 <= step.tag < COLLECTIVE_TAG_STRIDE
+
+    @pytest.mark.parametrize("call", ALL_COLLECTIVES)
+    @pytest.mark.parametrize("nranks", [2, 7, 8, 64])
+    def test_consecutive_instances_disjoint(self, call, nranks):
+        for rank in {0, nranks - 1}:
+            tags0 = {s.tag for s in schedule_for(call, rank, nranks, 64,
+                                                 instance=0)}
+            tags1 = {s.tag for s in schedule_for(call, rank, nranks, 64,
+                                                 instance=1)}
+            assert tags0.isdisjoint(tags1)
+            # and the whole rebased range stays inside the instance slot
+            for tags, instance in ((tags0, 0), (tags1, 1)):
+                base = base_tag_for(instance)
+                assert all(base <= t < base + COLLECTIVE_TAG_STRIDE
+                           for t in tags)
 
 
 @given(
