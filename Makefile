@@ -1,18 +1,30 @@
 # Convenience targets for the reproduction pipeline.
 #
-#   make test         tier-1 test suite
+#   make test         tier-1 test suite (everything)
+#   make test-fast    unit/property tiers only — skips the cross-kernel
+#                     differential matrix (tests/README.md describes the
+#                     tier structure)
+#   make test-full    everything test-fast runs plus the differential
+#                     matrix (same as `make test`, named for symmetry)
 #   make bench        full perf benchmark (writes benchmarks/out/BENCH_pipeline.json)
 #   make bench-smoke  quick perf-regression gate: REPRO_ITERATIONS=10,
 #                     fails on a >3x stage slowdown vs the recorded
-#                     benchmarks/BENCH_pipeline.json
+#                     benchmarks/BENCH_pipeline.json (covers the compiled
+#                     fast kernel and both schedulers' stage timings)
 #   make bench-record re-record the smoke reference on this machine
 
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke bench-record
+.PHONY: test test-fast test-full bench bench-smoke bench-record
 
 test:
+	$(PY) -m pytest -x -q
+
+test-fast:
+	$(PY) -m pytest -x -q -m "not differential"
+
+test-full:
 	$(PY) -m pytest -x -q
 
 bench:

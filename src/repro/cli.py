@@ -16,9 +16,13 @@ Usage (after ``pip install -e .``)::
 Each subcommand prints the regenerated table/figure; ``--csv PATH``
 additionally writes machine-readable output.  ``gen``/``replay`` export
 synthetic traces to the text ``.dim`` format and run the full pipeline
-on any trace file (including hand-written ones).  ``--workers N`` (or
-``REPRO_WORKERS``) fans the per-rank planning passes out over worker
-processes; results are identical to the sequential run.  ``bench`` times
+on any trace file (including hand-written ones); ``replay`` takes
+``--kernel``/``--scheduler`` to select the compiled-program fast kernel
+or the reference interpreter and the calendar-queue or heapq event
+queue (all combinations are bit-for-bit identical).  ``--workers N``
+(or ``REPRO_WORKERS``) fans the per-rank planning passes and the
+independent cells of a figure grid out over worker processes; results
+are identical to the sequential run.  ``bench`` times
 the pipeline stages and writes ``BENCH_pipeline.json``; with ``--smoke``
 it fails on a >3x slowdown against the recorded reference, and with
 ``--profile`` it captures the replay stages under cProfile, prints the
@@ -167,7 +171,7 @@ def _cmd_gen(args) -> None:
 
 def _cmd_replay(args) -> None:
     from .core import RuntimeConfig, plan_trace_directives, select_gt
-    from .sim import replay_baseline, replay_managed
+    from .sim import ReplayConfig, replay_baseline, replay_managed
     from .trace.io import load_trace
 
     trace = load_trace(args.trace)
@@ -177,9 +181,11 @@ def _cmd_replay(args) -> None:
         for p in problems[:10]:
             print(f"  {p}", file=sys.stderr)
         raise SystemExit(2)
-    baseline = replay_baseline(trace)
+    replay_cfg = ReplayConfig(kernel=args.kernel, scheduler=args.scheduler)
+    baseline = replay_baseline(trace, replay_cfg)
     print(f"{trace.name}: {trace.nranks} ranks, baseline "
-          f"{baseline.exec_time_us / 1e3:.3f} ms")
+          f"{baseline.exec_time_us / 1e3:.3f} ms "
+          f"[{args.kernel} kernel, {args.scheduler} scheduler]")
     gt = select_gt(baseline.event_logs)
     print(f"GT = {gt.gt_us:.0f} us, hit rate = {gt.hit_rate_pct:.1f}%")
     cfg = RuntimeConfig(gt_us=gt.gt_us, displacement=args.displacement)
@@ -189,6 +195,7 @@ def _cmd_replay(args) -> None:
         baseline_exec_time_us=baseline.exec_time_us,
         displacement=args.displacement,
         grouping_thresholds_us=[gt.gt_us] * trace.nranks,
+        config=replay_cfg,
         runtime_stats=stats,
     )
     print(f"power savings   : {managed.power_savings_pct:.2f} %")
@@ -326,6 +333,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("replay", help="full pipeline on a trace file")
     p.add_argument("trace", help="path to a .dim trace file")
     p.add_argument("--displacement", type=float, default=0.01)
+    p.add_argument("--kernel", default="fast", choices=("fast", "reference"),
+                   help="replay kernel: compiled programs + flat hop "
+                        "tables (fast) or the record interpreter + "
+                        "per-message route walk (reference); bit-for-bit "
+                        "identical")
+    p.add_argument("--scheduler", default="calendar",
+                   choices=("calendar", "heap"),
+                   help="DES event queue: calendar queue (default) or "
+                        "the heapq reference; bit-for-bit identical")
     common(p)
     p.set_defaults(func=_cmd_replay)
 

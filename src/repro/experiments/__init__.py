@@ -10,6 +10,7 @@ from .common import (
     default_iterations,
     paper_grid,
     run_cell,
+    run_cells,
     table2_parameters,
 )
 from .fig10 import Fig10Curve, format_fig10, run_fig10
@@ -30,6 +31,7 @@ __all__ = [
     "default_iterations",
     "paper_grid",
     "run_cell",
+    "run_cells",
     "table2_parameters",
     "Fig10Curve",
     "format_fig10",

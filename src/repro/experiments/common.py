@@ -77,12 +77,15 @@ from ..core import (
     plan_trace_directives_shared,
     select_gt_detailed,
 )
+from ..concurrency import parallel_map, resolve_workers
 from ..network.fabric import Fabric
 from ..power.states import WRPSParams
 from ..sim import (
     BaselineResult,
+    CompiledTrace,
     ManagedResult,
     ReplayConfig,
+    compile_trace,
     fabric_for,
     replay_baseline,
     replay_managed,
@@ -115,6 +118,9 @@ class CellResult:
     #: the cell's fabric, built once and reset between replays (routes
     #: and compiled hop tables are displacement-independent)
     fabric: Fabric | None = None
+    #: the trace's compiled rank programs, shared by the baseline and
+    #: every managed replay of the cell (compilation is replay-invariant)
+    programs: CompiledTrace | None = None
 
     @property
     def gt_us(self) -> float:
@@ -160,18 +166,22 @@ def run_cell(
 
     iters = iterations if iterations is not None else default_iterations()
     params = wrps or WRPSParams.paper()
-    # the full (frozen, hashable) WRPSParams is part of the identity: the
-    # cached plan's shutdown-timer filtering depends on t_deact_us too,
-    # so two calls differing in any WRPS field must not share a cell
-    key = (app, nranks, iters, seed, scaling, params, charge_overheads)
+    key = _cache_key(app, nranks, iters, seed, scaling, params, charge_overheads)
     cell = _CACHE.get(key) if use_cache else None
     if cell is None:
         trace = make_trace(app, nranks, iterations=iters, seed=seed, scaling=scaling)
         replay_cfg = ReplayConfig(seed=seed)
         # one fabric per cell: construction and route compilation are
-        # shared by the baseline and every managed replay (reset between)
+        # shared by the baseline and every managed replay (reset
+        # between); one compiled program set likewise
         fabric = fabric_for(nranks, replay_cfg)
-        baseline = replay_baseline(trace, replay_cfg, fabric=fabric)
+        programs = compile_trace(trace)
+        # routes for every pair the trace communicates on, ahead of the
+        # first replay (the subnet manager programs tables before traffic)
+        fabric.precompile_pairs(programs.comm_pairs())
+        baseline = replay_baseline(
+            trace, replay_cfg, fabric=fabric, programs=programs
+        )
         selection = select_gt_detailed(baseline.event_logs)
         cell = CellResult(
             app=app,
@@ -183,6 +193,7 @@ def run_cell(
             runtime_stats=[],
             gt_sweep=selection.sweep,
             fabric=fabric,
+            programs=programs,
         )
         if use_cache:
             _CACHE[key] = cell
@@ -211,6 +222,8 @@ def run_cell(
             )
         if cell.fabric is None:
             cell.fabric = fabric_for(nranks, ReplayConfig(seed=seed))
+        if cell.programs is None:
+            cell.programs = compile_trace(trace)
         for disp in missing:
             directives, stats = cell.plan.rebind_displacement(disp)
             managed = replay_managed(
@@ -223,6 +236,7 @@ def run_cell(
                 wrps=params,
                 runtime_stats=stats,
                 fabric=cell.fabric,
+                programs=cell.programs,
             )
             cell.managed[disp] = managed
             if not cell.runtime_stats:
@@ -234,6 +248,113 @@ def run_cell(
         # busy arrays do not
         cell.fabric.reset()
     return cell
+
+
+def _cache_key(
+    app: str,
+    nranks: int,
+    iters: int,
+    seed: int,
+    scaling: str,
+    params: WRPSParams,
+    charge_overheads: bool,
+) -> tuple:
+    """The cell memo key — the single definition shared by ``run_cell``
+    and ``run_cells`` so the two can never drift apart.
+
+    The full (frozen, hashable) WRPSParams is part of the identity: the
+    cached plan's shutdown-timer filtering depends on t_deact_us too,
+    so two calls differing in any WRPS field must not share a cell.
+    """
+
+    return (app, nranks, iters, seed, scaling, params, charge_overheads)
+
+
+def _cell_cache_key(spec: dict) -> tuple:
+    """The ``_CACHE`` key ``run_cell`` would use for ``spec``
+    (``run_cell``'s parameter defaults applied)."""
+
+    iters = spec.get("iterations")
+    if iters is None:
+        iters = default_iterations()
+    return _cache_key(
+        spec["app"],
+        spec["nranks"],
+        iters,
+        spec.get("seed", 1234),
+        spec.get("scaling", "strong"),
+        spec.get("wrps") or WRPSParams.paper(),
+        spec.get("charge_overheads", True),
+    )
+
+
+def _run_cell_worker(spec: dict) -> CellResult:
+    """Run one cell in a worker process (module-level for pickling).
+
+    The worker computes the whole cell from scratch (its process has an
+    empty cache) with nested parallelism disabled, and strips the
+    fabric and compiled programs before the result crosses the process
+    boundary — both are heavy, deterministic to rebuild, and
+    ``run_cell`` re-creates them on demand when the parent later asks
+    the cached cell for more displacements.
+    """
+
+    os.environ[
+        "REPRO_WORKERS"
+    ] = "1"  # no nested pools inside a cell worker
+    cell = run_cell(**spec)
+    cell.fabric = None
+    cell.programs = None
+    return cell
+
+
+def run_cells(
+    specs: Sequence[dict], *, workers: int | None = None
+) -> list[CellResult]:
+    """Run many independent (app, nranks) cells, possibly in parallel.
+
+    ``specs`` is a sequence of :func:`run_cell` keyword dicts.  With
+    ``workers > 1`` (explicit, or via ``REPRO_WORKERS`` — the same knob
+    that fans out the per-rank planning passes) cells whose results are
+    not already cached are computed in worker processes; cached cells
+    are served from the parent's memo as usual.  Results come back in
+    spec order and are merged into the parent cache deterministically,
+    so a parallel figure grid is bit-for-bit identical to the serial
+    one (each cell's pipeline is sequential and deterministic; the
+    fan-out only changes *where* a cell runs).  A cell that raises in a
+    worker propagates its exception to the caller — the pool never
+    swallows failures or hangs.
+    """
+
+    nworkers = resolve_workers(workers)
+    specs = [dict(spec) for spec in specs]
+    if nworkers <= 1:
+        return [run_cell(**spec) for spec in specs]
+    results: list[CellResult | None] = [None] * len(specs)
+    remote: list[int] = []
+    for i, spec in enumerate(specs):
+        if spec.get("use_cache", True) and _cell_cache_key(spec) in _CACHE:
+            # cached cells (possibly short a few displacements) are
+            # cheap to finish locally and keep their fabric/programs
+            results[i] = run_cell(**spec)
+        else:
+            remote.append(i)
+    if len(remote) == 1:
+        # parallel_map runs single items in-process; the worker function
+        # mutates its process's environment and strips the heavy fields,
+        # so a lone cell must take the plain local path instead
+        i = remote[0]
+        results[i] = run_cell(**specs[i])
+    elif remote:
+        computed = parallel_map(
+            _run_cell_worker, [specs[i] for i in remote], nworkers
+        )
+        for i, cell in zip(remote, computed):
+            if specs[i].get("use_cache", True):
+                _CACHE[_cell_cache_key(specs[i])] = cell
+            results[i] = cell
+    assert all(cell is not None for cell in results)
+    return results  # type: ignore[return-value]
 
 
 def paper_grid(app: str) -> tuple[int, ...]:

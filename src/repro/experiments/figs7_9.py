@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..workloads import APPLICATIONS, DISPLAY_NAMES
-from .common import paper_grid, run_cell
+from .common import paper_grid, run_cells
 
 #: figure number -> displacement factor, as in the paper
 FIGURE_DISPLACEMENTS: dict[int, float] = {7: 0.10, 8: 0.05, 9: 0.01}
@@ -80,27 +80,36 @@ def run_figure(
     """Regenerate one of Figures 7/8/9.
 
     ``sizes_limit`` truncates the size axis (smoke tests); the full grid
-    is used when it is None.
+    is used when it is None.  The grid's cells are independent, so with
+    ``REPRO_WORKERS > 1`` (or ``--workers N``) they fan out across
+    worker processes through :func:`~repro.experiments.common.run_cells`
+    — results are bit-for-bit identical to the serial sweep.
     """
 
     if figure not in FIGURE_DISPLACEMENTS:
         raise ValueError(f"figure must be one of {sorted(FIGURE_DISPLACEMENTS)}")
     disp = FIGURE_DISPLACEMENTS[figure]
     result = FigureResult(figure=figure, displacement=disp)
+    grid: list[tuple[str, int]] = []
     for app in apps or APPLICATIONS:
-        series = FigureSeries(app=app)
         sizes = paper_grid(app)
         if sizes_limit is not None:
             sizes = sizes[:sizes_limit]
-        for nranks in sizes:
-            cell = run_cell(
-                app, nranks, displacements=(disp,),
-                iterations=iterations, seed=seed,
-            )
-            series.sizes.append(nranks)
-            series.savings_pct.append(cell.savings_pct(disp))
-            series.slowdown_pct.append(cell.slowdown_pct(disp))
-        result.series[app] = series
+        grid.extend((app, nranks) for nranks in sizes)
+    cells = run_cells(
+        [
+            dict(app=app, nranks=nranks, displacements=(disp,),
+                 iterations=iterations, seed=seed)
+            for app, nranks in grid
+        ]
+    )
+    for (app, nranks), cell in zip(grid, cells):
+        series = result.series.get(app)
+        if series is None:
+            series = result.series[app] = FigureSeries(app=app)
+        series.sizes.append(nranks)
+        series.savings_pct.append(cell.savings_pct(disp))
+        series.slowdown_pct.append(cell.slowdown_pct(disp))
     return result
 
 

@@ -175,7 +175,14 @@ class Fabric:
         return self.segment_bytes / channel.bandwidth_bytes_per_us
 
     def _compile_hops(self, src_host: int, dst_host: int) -> tuple:
-        """Flatten one pair's static route into per-hop records."""
+        """Flatten one pair's static route into per-hop records.
+
+        Each hop carries the channel's bandwidth alongside the objects so
+        the transfer kernel never chases attribute chains per hop; links
+        and channels are stable across :meth:`reset` (cleared in place,
+        never rebuilt), so the compiled records stay valid for the
+        fabric's whole lifetime.
+        """
 
         path = self.routes.path(src_host, dst_host)
         hops = []
@@ -184,10 +191,41 @@ class Fabric:
             channel = link.channel(tail)
             switch = None if head.is_host else self.switches[head]
             hops.append(
-                (link, channel, switch, self.segment_time_us(channel))
+                (
+                    link,
+                    channel,
+                    switch,
+                    self.segment_time_us(channel),
+                    channel.bandwidth_bytes_per_us,
+                    # busy-log lists are cleared in place by reset(), so
+                    # their bound append methods stay valid for the
+                    # fabric's lifetime
+                    channel.busy_starts.append,
+                    channel.busy_ends.append,
+                )
             )
         compiled = tuple(hops)
         self._hops[src_host * self._num_hosts + dst_host] = compiled
+        return compiled
+
+    def precompile_pairs(self, pairs: Iterable[tuple[int, int]]) -> int:
+        """Compile routes + hop tables for ``pairs`` ahead of traffic.
+
+        Replay drivers pass the compiled trace's
+        :meth:`~repro.sim.program.CompiledTrace.comm_pairs` so the timed
+        replay never pays lazy route compilation (loopback and
+        already-compiled pairs are skipped).  Returns the number of
+        pairs compiled.
+        """
+
+        compiled = 0
+        hops = self._hops
+        n = self._num_hosts
+        for src, dst in sorted(pairs):
+            if src == dst or src * n + dst in hops:
+                continue
+            self._compile_hops(src, dst)
+            compiled += 1
         return compiled
 
     def transfer(
@@ -234,12 +272,14 @@ class Fabric:
         # software injection latency happens before the wire
         head_ready = earliest_us + self.mpi_latency_us
         hop_latency = self.hop_latency_us
+        full = LinkPowerMode.FULL
         power_wait = 0.0
         depart = None
         src_release = None
         channel = None
-        for link, channel, switch, seg_time in route:
-            if link.mode is not LinkPowerMode.FULL:
+        end = 0.0
+        for link, channel, switch, seg_time, bandwidth, s_append, e_append in route:
+            if link.mode is not full:
                 if on_power_block is not None:
                     usable = on_power_block(link, head_ready)
                 else:
@@ -247,23 +287,31 @@ class Fabric:
                 if usable > head_ready:
                     power_wait += usable - head_ready
                     head_ready = usable
-            start, end = channel.reserve(head_ready, size)
+            # channel.reserve, inlined (same float ops — start is
+            # max(earliest, next_free), end adds the serialisation time)
+            next_free = channel.next_free_us
+            start = next_free if next_free > head_ready else head_ready
+            serial = size / bandwidth
+            end = start + serial
+            channel.next_free_us = end
+            channel.bytes_carried += size
+            s_append(start)
+            e_append(end)
             if depart is None:
                 depart = start
                 src_release = end
             if switch is not None:
-                switch.record_forward(size)
+                switch.messages_forwarded += 1
+                switch.bytes_switched += size
             # head of the message reaches the next hop after one segment
             # plus the switch traversal latency
             head_ready = (
-                start
-                + min(seg_time, size / channel.bandwidth_bytes_per_us)
-                + hop_latency
+                start + (seg_time if seg_time < serial else serial) + hop_latency
             )
 
         assert depart is not None and src_release is not None
         # the last byte arrives when the final channel finishes serialising
-        arrive = channel.next_free_us
+        arrive = end
         return TransferTiming(
             depart_us=depart,
             arrive_us=arrive,
@@ -272,6 +320,73 @@ class Fabric:
             hops=len(route),
             src_release_us=src_release,
         )
+
+    def transfer_hot(
+        self,
+        src_host: int,
+        dst_host: int,
+        size_bytes: int,
+        earliest_us: float,
+        on_power_block=None,
+    ) -> tuple[float, float]:
+        """Allocation-free :meth:`transfer`: ``(arrive_us, src_release_us)``.
+
+        The MPI replay layer only consumes those two fields, so its hot
+        path skips the per-message :class:`TransferTiming` construction.
+        Identical arithmetic and identical channel/switch bookkeeping;
+        with ``use_fast_path`` off it simply wraps the reference walk.
+        """
+
+        if not self.use_fast_path:
+            t = self.transfer_reference(
+                src_host, dst_host, size_bytes, earliest_us,
+                on_power_block=on_power_block,
+            )
+            return t.arrive_us, t.src_release_us
+        if size_bytes < 0:
+            raise ValueError("negative message size")
+        self.messages_sent += 1
+        if src_host == dst_host:
+            arrive = earliest_us + self.mpi_latency_us
+            return arrive, arrive
+
+        route = self._hops.get(src_host * self._num_hosts + dst_host)
+        if route is None:
+            route = self._compile_hops(src_host, dst_host)
+        size = size_bytes if size_bytes > 1 else 1
+
+        head_ready = earliest_us + self.mpi_latency_us
+        hop_latency = self.hop_latency_us
+        full = LinkPowerMode.FULL
+        src_release = None
+        end = 0.0
+        for link, channel, switch, seg_time, bandwidth, s_append, e_append in route:
+            if link.mode is not full:
+                if on_power_block is not None:
+                    usable = on_power_block(link, head_ready)
+                else:
+                    usable = link.ready_time(head_ready)
+                if usable > head_ready:
+                    head_ready = usable
+            next_free = channel.next_free_us
+            start = next_free if next_free > head_ready else head_ready
+            serial = size / bandwidth
+            end = start + serial
+            channel.next_free_us = end
+            channel.bytes_carried += size
+            s_append(start)
+            e_append(end)
+            if src_release is None:
+                src_release = end
+            if switch is not None:
+                switch.messages_forwarded += 1
+                switch.bytes_switched += size
+            head_ready = (
+                start + (seg_time if seg_time < serial else serial) + hop_latency
+            )
+
+        assert src_release is not None
+        return end, src_release
 
     def transfer_reference(
         self,

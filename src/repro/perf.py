@@ -9,14 +9,22 @@ stage (tolerant enough to absorb machine-to-machine noise, tight enough
 to catch an accidental return to per-candidate or per-displacement
 passes).
 
-Schema 2 mirrors the ``run_cell`` replay structure (one shared fabric,
-reset between replays) and records a ``replay_detail`` section with the
-fast-kernel instrumentation: fabric build time, static-route pairs
-compiled and their compile time, and the collective schedule-cache
-hit/miss counters.  ``replay_detail`` is informational — only ``stages``
-is gated.  ``profile_path`` (``repro.cli bench --profile``) additionally
-captures the two replay stages under :mod:`cProfile` and dumps the stats
-for offline ``pstats``/``snakeviz`` digging.
+Schema 3 mirrors the ``run_cell`` replay structure (one shared fabric
+and one compiled program set, reset/reused between replays) and times
+the replay pipeline of the compiled-program fast kernel: a
+``program_compile_s`` stage for the trace -> opcode lowering, the
+default-path ``baseline_replay_s``/``managed_replay_s`` (compiled
+programs on the calendar-queue scheduler), and a
+``baseline_replay_heap_s`` stage that re-runs the baseline on the heapq
+reference scheduler so the smoke gate covers *both* schedulers.  A
+``replay_detail`` section records the fast-kernel instrumentation:
+fabric build time, static-route pairs compiled and their compile time,
+the collective schedule-cache hit/miss counters and the compiled
+instruction count.  ``replay_detail`` is informational — only
+``stages`` is gated.  ``profile_path`` (``repro.cli bench --profile``)
+additionally captures the two default-path replay stages under
+:mod:`cProfile` and dumps the stats for offline ``pstats``/``snakeviz``
+digging.
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ from .constants import DISPLACEMENT_FACTORS
 MAX_SLOWDOWN = 3.0
 
 #: benchmark schema version (bump when stages change incomparably)
-SCHEMA = 2
+SCHEMA = 3
 
 
 def _repo_root() -> pathlib.Path:
@@ -109,13 +117,20 @@ def run_pipeline_benchmark(
     from .core.runtime import RuntimeConfig
     from .experiments.common import default_iterations
     from .power.states import WRPSParams
-    from .sim import ReplayConfig, fabric_for, replay_baseline, replay_managed
+    from .sim import (
+        ReplayConfig,
+        compile_trace,
+        fabric_for,
+        replay_baseline,
+        replay_managed,
+    )
     from .sim.collectives import clear_schedule_cache, schedule_cache_stats
     from .workloads import make_trace
 
     iters = iterations if iterations is not None else default_iterations()
     params = WRPSParams.paper()
     replay_cfg = ReplayConfig(seed=seed)
+    heap_cfg = ReplayConfig(seed=seed, scheduler="heap")
     stages: dict[str, float] = {}
     clear_schedule_cache()
     profiler = _ReplayProfiler(profile_path is not None)
@@ -124,16 +139,32 @@ def run_pipeline_benchmark(
     trace = make_trace(app, nranks, iterations=iters, seed=seed)
     stages["trace_generation_s"] = time.perf_counter() - t0
 
+    # one compiled program set serves every replay below, like run_cell
+    t0 = time.perf_counter()
+    programs = compile_trace(trace)
+    stages["program_compile_s"] = time.perf_counter() - t0
+
     # one fabric serves the baseline and every managed replay (reset
     # between runs), exactly like run_cell: construction and static
-    # route compilation are paid once per cell
+    # route/hop-table compilation (for the trace's communication pairs,
+    # known from the compiled programs) are paid once per cell
     t0 = time.perf_counter()
     fabric = fabric_for(nranks, replay_cfg)
+    fabric.precompile_pairs(programs.comm_pairs())
     stages["fabric_build_s"] = time.perf_counter() - t0
+
+    # the heapq reference scheduler first (control before optimized —
+    # it also absorbs interpreter warm-up), so the smoke gate protects
+    # both event-queue implementations
+    t0 = time.perf_counter()
+    replay_baseline(trace, heap_cfg, fabric=fabric, programs=programs)
+    stages["baseline_replay_heap_s"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
     with profiler:
-        baseline = replay_baseline(trace, replay_cfg, fabric=fabric)
+        baseline = replay_baseline(
+            trace, replay_cfg, fabric=fabric, programs=programs
+        )
     stages["baseline_replay_s"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -141,16 +172,19 @@ def run_pipeline_benchmark(
     stages["gt_sweep_s"] = time.perf_counter() - t0
 
     gt_us = max(selection.best.gt_us, params.min_worthwhile_idle_us)
+    # planning covers the shared software-side pass *and* the
+    # per-displacement directive re-emission (rebind) — both are
+    # planning work, so the managed stage below times replays only
     t0 = time.perf_counter()
     plan = plan_trace_directives_shared(
         baseline.event_logs, RuntimeConfig(gt_us=gt_us, wrps=params)
     )
+    bound = [(disp,) + plan.rebind_displacement(disp) for disp in displacements]
     stages["planning_pass_s"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
     with profiler:
-        for disp in displacements:
-            directives, stats = plan.rebind_displacement(disp)
+        for disp, directives, stats in bound:
             replay_managed(
                 trace,
                 directives,
@@ -161,6 +195,7 @@ def run_pipeline_benchmark(
                 wrps=params,
                 runtime_stats=stats,
                 fabric=fabric,
+                programs=programs,
             )
     stages["managed_replay_s"] = time.perf_counter() - t0
 
@@ -176,6 +211,8 @@ def run_pipeline_benchmark(
             # part of the comparison key: parallel timings must never be
             # gated against (or recorded as) a sequential reference
             "workers": resolve_workers(None),
+            "kernel": replay_cfg.kernel,
+            "scheduler": replay_cfg.scheduler,
             "selected_gt_us": selection.best.gt_us,
             "hit_rate_pct": selection.best.hit_rate_pct,
         },
@@ -186,6 +223,7 @@ def run_pipeline_benchmark(
             "route_compile_s": fabric.routes.compile_seconds,
             "collective_schedule_hits": cache["hits"],
             "collective_schedule_misses": cache["misses"],
+            "compiled_instructions": programs.total_instructions,
         },
     }
     if profile_path is not None:
@@ -263,6 +301,7 @@ def format_benchmark(result: Mapping) -> str:
             f"{detail['route_pairs_compiled']} route pairs compiled "
             f"in {detail['route_compile_s'] * 1e3:.1f} ms, "
             f"schedule cache {detail['collective_schedule_hits']} hits / "
-            f"{detail['collective_schedule_misses']} misses"
+            f"{detail['collective_schedule_misses']} misses, "
+            f"{detail.get('compiled_instructions', 0)} compiled instructions"
         )
     return "\n".join(lines)

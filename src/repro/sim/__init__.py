@@ -10,46 +10,71 @@ The Dimemas+Venus co-simulation of the paper, in two layers:
 Replay architecture (the fast kernel)
 -------------------------------------
 
-A replay pushes every traced MPI operation through four layers; each one
-precomputes or pools whatever is invariant across the run so that the
+A replay pushes every traced MPI operation through five layers; each one
+precompiles or pools whatever is invariant across the run so that the
 per-message hot path touches only flat, already-compiled state:
 
-1. **Collective expansion** (:mod:`repro.sim.collectives`) — a
+1. **Compiled rank programs** (:mod:`repro.sim.program`) — each rank's
+   record list is lowered once per trace into a flat opcode stream
+   (``compile_trace``): adjacent compute bursts coalesce into one
+   delay, collectives resolve their memoised step schedules at compile
+   time, and :meth:`~repro.sim.mpi.MPIWorld.run_program` executes the
+   whole rank as a single generator frame dispatching on small-int
+   opcodes.  The record interpreter is kept as
+   ``ReplayConfig(kernel="reference")``.
+2. **Collective expansion** (:mod:`repro.sim.collectives`) — a
    collective's point-to-point schedule is a pure function of
    ``(kind, rank, nranks, size, root)``; it is memoised once per shape
    with *relative* tags and rebased per instance
    (``base_tag_for(instance)``), so a collective occurring thousands of
    times in a trace expands exactly once.  Relative tags are validated
    against ``COLLECTIVE_TAG_STRIDE`` so rebased instances never collide.
-2. **Matching + protocol** (:mod:`repro.sim.mpi`) — posted/unexpected
+3. **Matching + protocol** (:mod:`repro.sim.mpi`) — posted/unexpected
    queues with eager and rendezvous protocols.  Envelopes and the
    per-operation completion :class:`~repro.sim.engine.Signal` objects
    are recycled through free-lists once the matching layer has fully
    consumed them, so steady-state replay allocates no per-message
    objects.
-3. **The fabric** (:mod:`repro.network.fabric`) — routes are *static
+4. **The fabric** (:mod:`repro.network.fabric`) — routes are *static
    per (src, dst) pair* (an IB subnet manager programs forwarding tables
    ahead of traffic): a seeded, order-independent
    :class:`~repro.network.routing.RouteTable` compiles each pair once,
-   and the fabric flattens it into per-pair ``(link, channel, switch)``
-   hop tables.  ``Fabric.transfer`` walks that flat table; the
-   per-message route walk is kept as ``Fabric.transfer_reference``
+   the fabric flattens it into per-pair ``(link, channel, switch)`` hop
+   tables, and ``Fabric.precompile_pairs`` builds them ahead of traffic
+   from the compiled trace's ``comm_pairs()``.  ``Fabric.transfer`` /
+   ``transfer_hot`` walk that flat table; the per-message route walk is
+   kept as ``Fabric.transfer_reference``
    (``ReplayConfig(kernel="reference")``) and property-tested bit-for-bit
    identical.  Channel busy intervals append to flat start/end arrays;
    coalescing and utilisation/energy aggregation are deferred to query
    time.
-4. **The DES engine** (:mod:`repro.sim.engine`) — plain-tuple heap
-   entries, no per-event closures, pooled signals.
+5. **The DES engine** (:mod:`repro.sim.engine`) — selectable event
+   queue (``ReplayConfig(scheduler=...)``): a calendar queue by
+   default, heapq kept as the reference, both honouring the same
+   ``(time, insertion-order)`` determinism contract.  Plain-tuple
+   entries, no per-event closures, pooled signals, and synchronous
+   resume of pre-registered signal waiters.
 
-Drivers reuse fabrics across replays (``fabric_for`` + the ``fabric=``
-parameter of the replay entry points): construction and route
-compilation are run-invariant, and :meth:`Fabric.reset` clears the rest,
-with back-to-back-equals-fresh covered by regression tests.
+Drivers reuse fabrics and compiled programs across replays
+(``fabric_for`` / ``compile_trace`` + the ``fabric=`` / ``programs=``
+parameters of the replay entry points): construction, route compilation
+and program lowering are run-invariant, and :meth:`Fabric.reset` clears
+the rest, with back-to-back-equals-fresh covered by regression tests.
+Every (kernel, scheduler) combination is pinned bit-for-bit to the
+``("reference", "heap")`` oracle by the differential harness
+(``tests/sim/test_differential_kernels.py``).
 """
 
-from .dimemas import ReplayConfig, fabric_for, replay_baseline, replay_managed
-from .engine import AllOf, Delay, Engine, Signal, SimulationError
+from .dimemas import (
+    KERNELS,
+    ReplayConfig,
+    fabric_for,
+    replay_baseline,
+    replay_managed,
+)
+from .engine import SCHEDULERS, AllOf, Delay, Engine, Signal, SimulationError
 from .mpi import MPIWorld, RankDirective
+from .program import CompiledTrace, RankProgram, compile_trace
 from .results import BaselineResult, ManagedResult
 from .venus import (
     LinkUsage,
@@ -59,10 +84,15 @@ from .venus import (
 )
 
 __all__ = [
+    "KERNELS",
+    "SCHEDULERS",
     "ReplayConfig",
     "fabric_for",
     "replay_baseline",
     "replay_managed",
+    "CompiledTrace",
+    "RankProgram",
+    "compile_trace",
     "AllOf",
     "Delay",
     "Engine",

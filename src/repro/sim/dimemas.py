@@ -27,20 +27,30 @@ from ..power.controller import ManagedLink
 from ..power.model import aggregate
 from ..power.states import WRPSParams
 from ..trace.trace import Trace
-from .engine import Engine
+from .engine import SCHEDULERS, Engine
 from .mpi import MPIWorld, RankDirective
+from .program import CompiledTrace, compile_trace
 from .results import BaselineResult, ManagedResult
+
+#: replay kernels selectable via ``ReplayConfig(kernel=...)``
+KERNELS = ("fast", "reference")
 
 
 @dataclass(frozen=True, slots=True)
 class ReplayConfig:
     """Knobs of one replay (defaults = the paper's Table II).
 
-    ``kernel`` selects the fabric transfer implementation: ``"fast"``
-    (the precompiled-route flat-hop-table kernel) or ``"reference"``
-    (the straightforward per-message route walk).  The two are
-    bit-for-bit identical; the reference kernel exists as the
-    equivalence oracle for the property tests.
+    ``kernel`` selects the replay implementation end to end: ``"fast"``
+    runs each rank as a compiled opcode program
+    (:mod:`repro.sim.program`) over the precompiled-route flat-hop-table
+    fabric kernel; ``"reference"`` interprets the raw trace records
+    (:meth:`~repro.sim.mpi.MPIWorld.rank_program`) over the
+    straightforward per-message route walk.  ``scheduler`` selects the
+    engine's event queue: ``"calendar"`` (the calendar-queue scheduler)
+    or ``"heap"`` (the heapq reference).  Every (kernel, scheduler)
+    combination is bit-for-bit identical; the reference axes exist as
+    the equivalence oracles for the differential test harness
+    (``tests/sim/test_differential_kernels.py``).
     """
 
     seed: int = 0
@@ -49,6 +59,18 @@ class ReplayConfig:
     eager_threshold_bytes: int = EAGER_THRESHOLD_BYTES
     cpu_speedup: float = 1.0
     kernel: str = "fast"
+    scheduler: str = "calendar"
+
+    def __post_init__(self) -> None:
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; pick one of {KERNELS}"
+            )
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"pick one of {SCHEDULERS}"
+            )
 
 
 def fabric_for(nranks: int, config: ReplayConfig | None = None) -> Fabric:
@@ -73,13 +95,39 @@ def fabric_for(nranks: int, config: ReplayConfig | None = None) -> Fabric:
     return fabric
 
 
+def _resolve_programs(
+    trace: Trace, config: ReplayConfig, programs: CompiledTrace | None
+) -> CompiledTrace | None:
+    """The compiled programs a replay should run, or None (reference).
+
+    ``programs`` reuses a pre-compiled set (the ``fabric=`` idiom);
+    compiled for a different trace it is rejected rather than silently
+    replayed.
+    """
+
+    if config.kernel == "reference":
+        return None
+    if programs is None:
+        return compile_trace(trace)
+    if not programs.matches(trace):
+        raise ValueError(
+            f"programs were compiled for trace "
+            f"({programs.trace_name!r}, {programs.nranks} ranks, "
+            f"{programs.total_records} records); replay got "
+            f"({trace.name!r}, {trace.nranks} ranks, "
+            f"{trace.total_records} records) — compile_trace() the "
+            "right trace"
+        )
+    return programs
+
+
 def _build_world(
     trace: Trace,
     config: ReplayConfig,
     power_hook=None,
     fabric: Fabric | None = None,
 ) -> tuple[Engine, Fabric, MPIWorld]:
-    engine = Engine()
+    engine = Engine(scheduler=config.scheduler)
     if fabric is None:
         fabric = fabric_for(trace.nranks, config)
     else:
@@ -109,19 +157,32 @@ def replay_baseline(
     config: ReplayConfig | None = None,
     *,
     fabric: Fabric | None = None,
+    programs: CompiledTrace | None = None,
 ) -> BaselineResult:
     """Replay with always-on links; returns timing and event streams.
 
     ``fabric`` reuses a pre-built (matching) fabric: it is reset, not
     rebuilt, so compiled routes and hop tables are shared across runs.
+    ``programs`` likewise reuses a :func:`~repro.sim.program.
+    compile_trace` result for the fast kernel (compiled on the fly when
+    omitted; ignored by the reference kernel, which interprets records).
     """
 
     cfg = config or ReplayConfig()
     engine, fabric, world = _build_world(trace, cfg, fabric=fabric)
-    for proc in trace.processes:
-        engine.spawn(
-            world.rank_program(proc.rank, proc.records), name=f"rank{proc.rank}"
-        )
+    progs = _resolve_programs(trace, cfg, programs)
+    if progs is not None:
+        for proc in trace.processes:
+            engine.spawn(
+                world.run_program(proc.rank, progs.programs[proc.rank]),
+                name=f"rank{proc.rank}",
+            )
+    else:
+        for proc in trace.processes:
+            engine.spawn(
+                world.rank_program(proc.rank, proc.records),
+                name=f"rank{proc.rank}",
+            )
     exec_time = engine.run()
     return BaselineResult(
         trace_name=trace.name,
@@ -144,6 +205,7 @@ def replay_managed(
     wrps: WRPSParams | None = None,
     runtime_stats: Sequence | None = None,
     fabric: Fabric | None = None,
+    programs: CompiledTrace | None = None,
 ) -> ManagedResult:
     """Replay with the power mechanism's directives applied.
 
@@ -152,7 +214,8 @@ def replay_managed(
     find a link below full width pay the reactivation penalty through the
     fabric's power hook.  ``fabric`` reuses a pre-built fabric (reset,
     not rebuilt) — ``run_cell`` passes one fabric to the baseline replay
-    and every per-displacement managed replay of a cell.
+    and every per-displacement managed replay of a cell — and
+    ``programs`` shares one compiled program set the same way.
     """
 
     if len(directives) != trace.nranks:
@@ -194,16 +257,29 @@ def replay_managed(
         else:
             rank_links[rank].shutdown(t_us, timer_us)
 
-    for proc in trace.processes:
-        engine.spawn(
-            world.rank_program(
-                proc.rank,
-                proc.records,
-                directives=directives[proc.rank],
-                on_shutdown=on_shutdown,
-            ),
-            name=f"rank{proc.rank}",
-        )
+    progs = _resolve_programs(trace, cfg, programs)
+    if progs is not None:
+        for proc in trace.processes:
+            engine.spawn(
+                world.run_program(
+                    proc.rank,
+                    progs.programs[proc.rank],
+                    directives=directives[proc.rank],
+                    on_shutdown=on_shutdown,
+                ),
+                name=f"rank{proc.rank}",
+            )
+    else:
+        for proc in trace.processes:
+            engine.spawn(
+                world.rank_program(
+                    proc.rank,
+                    proc.records,
+                    directives=directives[proc.rank],
+                    on_shutdown=on_shutdown,
+                ),
+                name=f"rank{proc.rank}",
+            )
     exec_time = engine.run()
 
     for ml in rank_links:

@@ -2,19 +2,47 @@
 
 A minimal, dependency-free DES kernel in the SimPy style: *processes* are
 Python generators that ``yield`` requests to the engine — either a
-:class:`Delay` or a :class:`Signal` / :class:`AllOf` to wait on.  The
-engine owns the clock and a priority queue; everything else (MPI
-semantics, the network, power) is layered on top in :mod:`repro.sim.mpi`.
+:class:`Delay` (or a bare non-negative float, the allocation-free form
+the compiled replay programs use) or a :class:`Signal` / :class:`AllOf`
+to wait on.  The engine owns the clock and an event queue; everything
+else (MPI semantics, the network, power) is layered on top in
+:mod:`repro.sim.mpi`.
 
 Determinism: events scheduled for the same timestamp are processed in
 insertion order (a monotonically increasing sequence number breaks ties),
-so repeated runs of the same trace are bit-for-bit identical.
+so repeated runs of the same trace are bit-for-bit identical.  Both
+schedulers below honour the same ``(time_us, seq)`` total order.
+
+Schedulers
+----------
+
+``Engine(scheduler=...)`` selects the event-queue implementation:
+
+* ``"heap"`` (the default, and the reference for the differential test
+  harness) — a single binary heap via :mod:`heapq`.
+* ``"calendar"`` — a calendar queue (Brown 1988): a power-of-two ring of
+  time buckets with the serving pointer sweeping bucket windows.  An
+  entry lands in virtual bucket ``int(t / width)``; the same expression
+  gates serving, so placement and serving can never disagree under
+  float rounding.  Every bucket is kept sorted by a C ``insort`` on
+  push — replay events arrive in near-time-order, so the insertion
+  point is almost always the tail and the memmove is empty — and pops
+  walk an index cursor: one list index and one float compare per
+  event, no heap discipline anywhere on the hot path, and no size
+  bookkeeping (the window sweep detects emptiness).  Served prefixes
+  are compacted away when a window is exhausted.  When a full ring
+  sweep finds nothing (a sparse region of simulated time), a direct
+  search over the sorted bucket heads locates the global minimum and
+  the pointer jumps there — correctness never depends on the bucket
+  width.
 
 Hot-path layout: queue entries are plain ``(time_us, seq, fn, arg)``
-tuples (heapq orders on the first two fields; ``seq`` is unique so the
+tuples (ordered on the first two fields; ``seq`` is unique so the
 payload is never compared) and the engine schedules bound methods with an
 explicit argument instead of allocating a closure per event.  Processes
-waiting on a :class:`Signal` are stored directly in the waiter list, so
+waiting on a :class:`Signal` are stored directly in the waiter list, and
+:class:`AllOf` barriers register a single :class:`_Barrier` object's
+bound method on each pending signal (no per-call lambda closures), so
 the resume path allocates nothing beyond the heap tuple itself.  Signals
 are pooled: :meth:`Engine.recycle_signal` returns a fired, fully-drained
 signal to a free-list that :meth:`Engine.new_signal` reuses, so steady-
@@ -23,10 +51,25 @@ state replay allocates no new Signal objects per message.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from bisect import insort
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable
+
+#: event-queue implementations selectable via ``Engine(scheduler=...)``
+SCHEDULERS = ("heap", "calendar")
+
+#: default calendar-queue geometry: bucket width in simulated
+#: microseconds and ring size (must be a power of two).  Replay events
+#: cluster within a few microseconds of ``now`` (MPI latency is 1 us),
+#: so a few-tens-of-us window keeps the current bucket hot while the
+#: ring spans one ~2 ms "day" before the direct-search fallback kicks
+#: in (replay idle gaps — GT-scale, hundreds of us — stay inside a
+#: day).  Replay timings are flat across a wide band (2-32 us measured
+#: on alya@64), so the exact values are not load-bearing.
+CALENDAR_BUCKET_US = 16.0
+CALENDAR_NBUCKETS = 128
 
 
 class SimulationError(RuntimeError):
@@ -68,14 +111,25 @@ class Signal:
             return
         self.fired = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
+        waiters = self._waiters
+        if not waiters:
+            return
+        self._waiters = []
+        # waiters registered before the fire resume *synchronously*, in
+        # registration order — the signal's time has come and rescheduling
+        # each waiter as its own queue event would double the event count
+        # of every message completion.  Recursion is bounded: a resumed
+        # process runs only to its next yield, and waiting on an
+        # already-fired signal goes through the queue (add_callback /
+        # _add_waiter_process below), so same-slice wait loops cannot
+        # stack frames.
         engine = self.engine
-        now = engine.now
+        resume = engine._resume
         for wake in waiters:
             if wake.__class__ is _Process:
-                engine._schedule(now, self._wake_process, wake)
+                resume(wake, value)
             else:
-                engine._schedule(now, wake, value)
+                wake(value)
 
     def fire_at(self, t_us: float, value: Any = None) -> None:
         """Schedule the signal to fire at absolute time ``t_us``."""
@@ -124,20 +178,95 @@ class _Process:
     result: Any = None
 
 
-#: Heap entry: ``(time_us, seq, fn, arg)``; dispatched as ``fn(arg)``.
+class _Barrier:
+    """Bookkeeping for one :class:`AllOf` wait (no closure allocations).
+
+    One instance per barrier; every pending signal gets the *same* bound
+    ``_signal_fired`` callback, and the values are gathered from the
+    signals at resume time (ordered as passed to :class:`AllOf`).
+    """
+
+    __slots__ = ("engine", "proc", "signals", "remaining")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        proc: _Process,
+        signals: list[Signal],
+        remaining: int,
+    ) -> None:
+        self.engine = engine
+        self.proc = proc
+        self.signals = signals
+        self.remaining = remaining
+
+    def _signal_fired(self, _value: Any) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.engine._resume(self.proc, [s.value for s in self.signals])
+
+
+#: Queue entry: ``(time_us, seq, fn, arg)``; dispatched as ``fn(arg)``.
 _QueueEntry = tuple
 
 
 class Engine:
     """The event loop."""
 
-    def __init__(self) -> None:
+    # slots: the scheduling hot paths touch these attributes per event;
+    # ``_schedule`` is a slot (not a method) bound per instance to the
+    # selected scheduler's push implementation
+    __slots__ = (
+        "scheduler",
+        "now",
+        "_seq",
+        "_processes",
+        "_active",
+        "_signal_pool",
+        "_queue",
+        "_schedule",
+        "_buckets",
+        "_cal_mask",
+        "_cal_inv",
+        "_cal_cur",
+        "_direct_searches",
+    )
+
+    def __init__(
+        self,
+        scheduler: str = "heap",
+        *,
+        calendar_bucket_us: float = CALENDAR_BUCKET_US,
+        calendar_nbuckets: int = CALENDAR_NBUCKETS,
+    ) -> None:
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; pick one of {SCHEDULERS}"
+            )
+        self.scheduler = scheduler
         self.now: float = 0.0
-        self._queue: list[tuple] = []
         self._seq = itertools.count()
         self._processes: list[_Process] = []
         self._active = 0
         self._signal_pool: list[Signal] = []
+        self._queue: list[tuple] = []
+        self._schedule = self._schedule_heap
+        if scheduler == "calendar":
+            n = int(calendar_nbuckets)
+            if n <= 0 or n & (n - 1):
+                raise ValueError(
+                    f"calendar_nbuckets must be a power of two, got {n}"
+                )
+            if calendar_bucket_us <= 0:
+                raise ValueError("calendar_bucket_us must be positive")
+            self._buckets: list[list[tuple]] = [[] for _ in range(n)]
+            self._cal_mask = n - 1
+            self._cal_inv = 1.0 / float(calendar_bucket_us)
+            #: last fully-served virtual bucket number (the scan resumes
+            #: at ``_cal_cur + 1``); -1 so the first scan checks window 0
+            self._cal_cur = -1
+            self._direct_searches = 0
+            self._schedule = self._schedule_calendar
 
     # -- public API ----------------------------------------------------------
 
@@ -155,7 +284,7 @@ class Engine:
 
         self._schedule(t_us, _invoke, action)
 
-    def _schedule(self, t_us: float, fn: Callable[[Any], None], arg: Any) -> None:
+    def _schedule_heap(self, t_us: float, fn: Callable[[Any], None], arg: Any) -> None:
         """Queue ``fn(arg)`` at ``t_us`` (>= now); the single-argument form
         lets hot paths schedule bound methods without closure allocations."""
 
@@ -164,9 +293,26 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule in the past: {t_us} < now={now}"
             )
-        heapq.heappush(
+        heappush(
             self._queue,
             (t_us if t_us > now else now, next(self._seq), fn, arg),
+        )
+
+    def _schedule_calendar(
+        self, t_us: float, fn: Callable[[Any], None], arg: Any
+    ) -> None:
+        now = self.now
+        if t_us <= now:
+            if t_us < now - 1e-9:
+                raise SimulationError(
+                    f"cannot schedule in the past: {t_us} < now={now}"
+                )
+            t_us = now
+        # (t, seq) is globally fresh, so within the serving window the
+        # entry always lands at-or-after the cursor position
+        insort(
+            self._buckets[int(t_us * self._cal_inv) & self._cal_mask],
+            (t_us, next(self._seq), fn, arg),
         )
 
     def run(self, until_us: float | None = None) -> float:
@@ -176,19 +322,102 @@ class Engine:
         the queue empties (deadlock — e.g. an unmatched receive).
         """
 
+        if self.scheduler == "calendar":
+            return self._run_calendar(until_us)
         queue = self._queue
+        now = self.now
+        limit = float("inf") if until_us is None else until_us
         while queue:
-            entry = heapq.heappop(queue)
+            entry = heappop(queue)
             t_us = entry[0]
-            if until_us is not None and t_us > until_us:
-                heapq.heappush(queue, entry)
+            if t_us > limit:
+                heappush(queue, entry)
                 self.now = until_us
-                return self.now
-            if t_us < self.now - 1e-9:
-                raise SimulationError("time went backwards in event queue")
-            if t_us > self.now:
+                return until_us
+            if t_us > now:
+                now = t_us
                 self.now = t_us
+            elif t_us < now - 1e-9:
+                raise SimulationError("time went backwards in event queue")
             entry[2](entry[3])
+        self._check_deadlock()
+        return self.now
+
+    def _run_calendar(self, until_us: float | None = None) -> float:
+        buckets = self._buckets
+        mask = self._cal_mask
+        inv = self._cal_inv
+        nbuckets = mask + 1
+        cur = self._cal_cur
+        curb: list[tuple] | None = None
+        cursor = 0
+        now = self.now
+        limit = float("inf") if until_us is None else until_us
+        while True:
+            if curb is not None and cursor < len(curb):
+                entry = curb[cursor]
+                t_us = entry[0]
+                if t_us * inv < cur + 1.0:
+                    if t_us > limit:
+                        # pause without consuming the entry; rewind the
+                        # serving pointer so events scheduled while
+                        # paused (spawn / call_at at now=until_us) are
+                        # not missed by the resuming scan
+                        del curb[:cursor]
+                        self._cal_cur = int(until_us * inv) - 1
+                        self.now = until_us
+                        return until_us
+                    cursor += 1
+                    if t_us > now:
+                        now = t_us
+                        self.now = t_us
+                    elif t_us < now - 1e-9:
+                        raise SimulationError(
+                            "time went backwards in event queue"
+                        )
+                    entry[2](entry[3])
+                    continue
+            if curb is not None:
+                # window exhausted: drop the served prefix (entries of
+                # future ring laps stay, still sorted)
+                del curb[:cursor]
+                cursor = 0
+                curb = None
+            # sweep the ring for the next non-empty window; after a full
+            # fruitless day, either the queue is drained or all entries
+            # are a day+ away — find the global minimum directly
+            scanned = 0
+            nonempty = False
+            while True:
+                cur += 1
+                bucket = buckets[cur & mask]
+                if bucket:
+                    if bucket[0][0] * inv < cur + 1.0:
+                        curb = bucket
+                        break
+                    nonempty = True
+                scanned += 1
+                if scanned >= nbuckets:
+                    if not nonempty:
+                        # drained: rewind the serving pointer to now's
+                        # window — events pushed before a later run()
+                        # land at t >= now, and the resuming sweep must
+                        # meet them in window order
+                        self._cal_cur = int(self.now * inv) - 1
+                        self._check_deadlock()
+                        return self.now
+                    self._direct_searches += 1
+                    best = None
+                    for b in buckets:
+                        if b and (best is None or b[0] < best):
+                            best = b[0]
+                    assert best is not None
+                    cur = int(best[0] * inv)
+                    curb = buckets[cur & mask]
+                    break
+            cursor = 0
+
+    def _check_deadlock(self) -> None:
         if self._active > 0:
             blocked = [p.name for p in self._processes if not p.done]
             raise SimulationError(
@@ -196,7 +425,13 @@ class Engine:
                 + ", ".join(blocked[:8])
                 + ("..." if len(blocked) > 8 else "")
             )
-        return self.now
+
+    def scheduler_stats(self) -> dict[str, int]:
+        """Instrumentation snapshot (calendar queue fallback counter)."""
+
+        if self.scheduler != "calendar":
+            return {}
+        return {"direct_searches": self._direct_searches}
 
     def new_signal(self, name: str = "") -> Signal:
         pool = self._signal_pool
@@ -230,7 +465,41 @@ class Engine:
     # -- internals -------------------------------------------------------------
 
     def _resume_none(self, proc: _Process) -> None:
-        self._resume(proc, None)
+        # the scheduled form of every Delay/spawn resume — the hottest
+        # callback in a replay, so the dispatch body is duplicated from
+        # _resume instead of paying a second frame per event
+        if proc.done:
+            return
+        try:
+            request = proc.gen.send(None)
+        except StopIteration as stop:
+            proc.done = True
+            proc.result = stop.value
+            self._active -= 1
+            return
+        cls = request.__class__
+        if cls is float:
+            if request < 0:
+                raise SimulationError(
+                    f"process {proc.name} yielded a negative delay"
+                )
+            self._schedule(self.now + request, self._resume_none, proc)
+        elif cls is Delay:
+            duration = request.duration_us
+            if duration < 0:
+                raise SimulationError(
+                    f"process {proc.name} yielded a negative delay"
+                )
+            self._schedule(self.now + duration, self._resume_none, proc)
+        elif cls is Signal:
+            request._add_waiter_process(proc)
+        elif cls is AllOf:
+            self._await_all(proc, request)
+        else:
+            raise SimulationError(
+                f"process {proc.name} yielded unsupported request "
+                f"{request!r}; yield Delay, Signal or AllOf"
+            )
 
     def _resume(self, proc: _Process, send_value: Any) -> None:
         if proc.done:
@@ -242,20 +511,26 @@ class Engine:
             proc.result = stop.value
             self._active -= 1
             return
-        self._handle_request(proc, request)
-
-    def _handle_request(self, proc: _Process, request: Any) -> None:
-        if isinstance(request, Delay):
-            if request.duration_us < 0:
+        # dispatch on exact type: float is the allocation-free delay the
+        # compiled programs yield, Delay the interpreter's boxed form —
+        # both schedule the identical resume event
+        cls = request.__class__
+        if cls is float:
+            if request < 0:
                 raise SimulationError(
                     f"process {proc.name} yielded a negative delay"
                 )
-            self._schedule(
-                self.now + request.duration_us, self._resume_none, proc
-            )
-        elif isinstance(request, Signal):
+            self._schedule(self.now + request, self._resume_none, proc)
+        elif cls is Delay:
+            duration = request.duration_us
+            if duration < 0:
+                raise SimulationError(
+                    f"process {proc.name} yielded a negative delay"
+                )
+            self._schedule(self.now + duration, self._resume_none, proc)
+        elif cls is Signal:
             request._add_waiter_process(proc)
-        elif isinstance(request, AllOf):
+        elif cls is AllOf:
             self._await_all(proc, request)
         else:
             raise SimulationError(
@@ -263,25 +538,20 @@ class Engine:
                 f"{request!r}; yield Delay, Signal or AllOf"
             )
 
+    def _resume_barrier(self, barrier: _Barrier) -> None:
+        self._resume(barrier.proc, [s.value for s in barrier.signals])
+
     def _await_all(self, proc: _Process, barrier: AllOf) -> None:
         signals = barrier.signals
-        if not signals:
-            self.call_at(self.now, lambda: self._resume(proc, []))
-            return
-        remaining = {i for i, s in enumerate(signals) if not s.fired}
-        if not remaining:
-            self.call_at(
-                self.now, lambda: self._resume(proc, [s.value for s in signals])
+        pending = [s for s in signals if not s.fired]
+        if not pending:
+            # empty or fully pre-fired: resume through the queue in
+            # insertion order, exactly like a waiter on a fired signal
+            self._schedule(
+                self.now, self._resume_barrier, _Barrier(self, proc, signals, 0)
             )
             return
-
-        def make_waiter(index: int) -> Callable[[Any], None]:
-            def wake(_value: Any) -> None:
-                remaining.discard(index)
-                if not remaining:
-                    self._resume(proc, [s.value for s in signals])
-
-            return wake
-
-        for i in sorted(remaining):
-            signals[i].add_callback(make_waiter(i))
+        bar = _Barrier(self, proc, signals, len(pending))
+        fired = bar._signal_fired
+        for sig in pending:
+            sig.add_callback(fired)

@@ -46,7 +46,21 @@ from ..trace.events import (
     TraceRecord,
 )
 from . import collectives as coll
+from .collectives import COLLECTIVE_TAG_BASE, COLLECTIVE_TAG_STRIDE
 from .engine import AllOf, Delay, Engine, Signal, SimulationError
+from .program import (
+    OP_COLLECTIVE,
+    OP_DELAY,
+    OP_IRECV,
+    OP_ISEND,
+    OP_RECV,
+    OP_SEND,
+    OP_SENDRECV,
+    OP_WAITALL,
+    STEP_RECV,
+    STEP_SEND_ASYNC,
+    RankProgram,
+)
 
 
 @dataclass(slots=True)
@@ -65,14 +79,10 @@ class _Envelope:
 
 
 @dataclass(slots=True)
-class _PostedRecv:
-    signal: Signal
-
-
-@dataclass(slots=True)
 class _RankContext:
     rank: int
     unexpected: dict[tuple[int, int], deque] = field(default_factory=dict)
+    #: posted receives: (src, tag) -> deque of completion Signals
     posted: dict[tuple[int, int], deque] = field(default_factory=dict)
     collective_instance: int = 0
     pending_requests: list[Signal] = field(default_factory=list)
@@ -83,7 +93,7 @@ class _RankContext:
             return q.popleft()
         return None
 
-    def pop_posted(self, src: int, tag: int) -> _PostedRecv | None:
+    def pop_posted(self, src: int, tag: int) -> Signal | None:
         q = self.posted.get((src, tag))
         if q:
             return q.popleft()
@@ -92,7 +102,7 @@ class _RankContext:
     def add_unexpected(self, env: _Envelope) -> None:
         self.unexpected.setdefault((env.src, env.tag), deque()).append(env)
 
-    def add_posted(self, src: int, tag: int, recv: _PostedRecv) -> None:
+    def add_posted(self, src: int, tag: int, recv: Signal) -> None:
         self.posted.setdefault((src, tag), deque()).append(recv)
 
 
@@ -238,11 +248,299 @@ class MPIWorld:
                 )
             call_index += 1
 
+    def run_program(
+        self,
+        rank: int,
+        program: RankProgram,
+        directives: dict[int, RankDirective] | None = None,
+        on_shutdown: Callable[[int, float, float, float], None] | None = None,
+    ):
+        """Generator executing one rank's *compiled* program.
+
+        The fast twin of :meth:`rank_program`: dispatches on small-integer
+        opcodes and inlines the hot operations (eager sends, receives,
+        collective step loops) so the whole rank runs as a single
+        generator frame.  It must drive the engine through exactly the
+        same request sequence as the interpreter — same yields (bare
+        floats stand in for :class:`Delay`, handled identically), same
+        ``_schedule`` calls in the same order, same float arithmetic —
+        which the differential harness asserts bit-for-bit.
+        """
+
+        engine = self.engine
+        ctx = self.ranks[rank]
+        log = self.event_logs[rank]
+        fabric = self.fabric
+        eager_threshold = self.eager_threshold
+        speed = self.cpu_speedup
+        power_hook = self.power_hook
+        new_env = self._new_envelope
+        recycle_env = self._recycle_envelope
+        new_signal = engine.new_signal
+        signal_pool = engine._signal_pool
+        recycle_signal = engine.recycle_signal
+        schedule = engine._schedule
+        arrive = self._arrive
+        transfer = fabric.transfer_hot
+        isend_name = self._isend_names[rank]
+        mpi_latency = MPI_LATENCY_US
+        call_index = 0
+        for ins in program.code:
+            op = ins[0]
+            if op == OP_DELAY:
+                yield ins[1] / speed
+                continue
+            directive = (
+                directives.get(call_index) if directives is not None else None
+            )
+            if directive is not None and directive.pre_overhead_us > 0:
+                # 1.0 * x: exact float coercion (a hand-built directive
+                # may carry an int; bare int yields are rejected)
+                yield 1.0 * directive.pre_overhead_us
+            enter = engine.now
+            if op == OP_COLLECTIVE:
+                instance = ctx.collective_instance
+                ctx.collective_instance = instance + 1
+                base_tag = COLLECTIVE_TAG_BASE + instance * COLLECTIVE_TAG_STRIDE
+                # software entry cost of the collective call itself
+                yield mpi_latency
+                pending: list[Signal] = []
+                for sop, peer, size, rel_tag in ins[2]:
+                    if sop == STEP_RECV:
+                        tag = rel_tag + base_tag
+                        env = ctx.pop_unexpected(peer, tag)
+                        if env is None:
+                            if signal_pool:
+                                sig = signal_pool.pop()
+                                sig.name = "recv"
+                                sig.fired = False
+                                sig.value = None
+                            else:
+                                sig = Signal(engine, "recv")
+                            ctx.add_posted(peer, tag, sig)
+                            yield sig
+                            recycle_signal(sig)
+                        elif env.is_rts:
+                            cts, data = env.cts_signal, env.data_signal
+                            recycle_env(env)
+                            cts.fire(engine.now)
+                            yield data
+                        else:
+                            recycle_env(env)
+                    elif sop == STEP_SEND_ASYNC:
+                        tag = rel_tag + base_tag
+                        if size <= eager_threshold:
+                            arrive_us, src_release = transfer(
+                                rank, peer, size, engine.now, power_hook
+                            )
+                            schedule(
+                                arrive_us, arrive, new_env(rank, peer, tag, size)
+                            )
+                            if signal_pool:
+                                done = signal_pool.pop()
+                                done.name = "isend"
+                                done.fired = False
+                                done.value = None
+                            else:
+                                done = Signal(engine, "isend")
+                            now_us = engine.now
+                            release = src_release if src_release > now_us else now_us
+                            schedule(release, done.fire, release)
+                        else:
+                            done = new_signal("isend")
+                            engine.spawn(
+                                self._isend_rendezvous(rank, peer, size, tag, done),
+                                name=isend_name,
+                            )
+                        pending.append(done)
+                    else:  # STEP_SEND: blocking send
+                        tag = rel_tag + base_tag
+                        if size <= eager_threshold:
+                            arrive_us, src_release = transfer(
+                                rank, peer, size, engine.now, power_hook
+                            )
+                            schedule(
+                                arrive_us, arrive,
+                                new_env(rank, peer, tag, size),
+                            )
+                            now_us = engine.now
+                            yield (src_release - now_us
+                                   if src_release > now_us else 0.0)
+                        else:
+                            cts = new_signal("cts")
+                            data = new_signal("data")
+                            schedule(
+                                engine.now + mpi_latency, arrive,
+                                new_env(rank, peer, tag, size, True, data, cts),
+                            )
+                            yield cts
+                            arrive_us, src_release = transfer(
+                                rank, peer, size, engine.now + mpi_latency,
+                                power_hook,
+                            )
+                            data.fire_at(arrive_us, arrive_us)
+                            now_us = engine.now
+                            yield (src_release - now_us
+                                   if src_release > now_us else 0.0)
+                if pending:
+                    yield AllOf(pending)
+                    for sig in pending:
+                        recycle_signal(sig)
+            elif op == OP_SENDRECV:
+                peer, size, tag = ins[2], ins[3], ins[4]
+                if size <= eager_threshold:
+                    arrive_us, src_release = transfer(
+                        rank, peer, size, engine.now, power_hook
+                    )
+                    schedule(
+                        arrive_us, arrive, new_env(rank, peer, tag, size)
+                    )
+                    if signal_pool:
+                        done = signal_pool.pop()
+                        done.name = "isend"
+                        done.fired = False
+                        done.value = None
+                    else:
+                        done = Signal(engine, "isend")
+                    now_us = engine.now
+                    release = src_release if src_release > now_us else now_us
+                    schedule(release, done.fire, release)
+                else:
+                    done = new_signal("isend")
+                    engine.spawn(
+                        self._isend_rendezvous(rank, peer, size, tag, done),
+                        name=isend_name,
+                    )
+                send_done = done
+                src = ins[5]
+                env = ctx.pop_unexpected(src, tag)
+                if env is None:
+                    if signal_pool:
+                        sig = signal_pool.pop()
+                        sig.name = "recv"
+                        sig.fired = False
+                        sig.value = None
+                    else:
+                        sig = Signal(engine, "recv")
+                    ctx.add_posted(src, tag, sig)
+                    yield sig
+                    recycle_signal(sig)
+                elif env.is_rts:
+                    cts, data = env.cts_signal, env.data_signal
+                    recycle_env(env)
+                    cts.fire(engine.now)
+                    yield data
+                else:
+                    recycle_env(env)
+                yield send_done
+                recycle_signal(send_done)
+            elif op == OP_SEND:
+                peer, size, tag = ins[2], ins[3], ins[4]
+                if size <= eager_threshold:
+                    arrive_us, src_release = transfer(
+                        rank, peer, size, engine.now, power_hook
+                    )
+                    schedule(arrive_us, arrive, new_env(rank, peer, tag, size))
+                    now_us = engine.now
+                    yield (src_release - now_us
+                           if src_release > now_us else 0.0)
+                else:
+                    cts = new_signal("cts")
+                    data = new_signal("data")
+                    schedule(
+                        engine.now + mpi_latency, arrive,
+                        new_env(rank, peer, tag, size, True, data, cts),
+                    )
+                    yield cts
+                    arrive_us, src_release = transfer(
+                        rank, peer, size, engine.now + mpi_latency,
+                        power_hook,
+                    )
+                    data.fire_at(arrive_us, arrive_us)
+                    now_us = engine.now
+                    yield (src_release - now_us
+                           if src_release > now_us else 0.0)
+            elif op == OP_RECV:
+                src, tag = ins[2], ins[3]
+                env = ctx.pop_unexpected(src, tag)
+                if env is None:
+                    if signal_pool:
+                        sig = signal_pool.pop()
+                        sig.name = "recv"
+                        sig.fired = False
+                        sig.value = None
+                    else:
+                        sig = Signal(engine, "recv")
+                    ctx.add_posted(src, tag, sig)
+                    yield sig
+                    recycle_signal(sig)
+                elif env.is_rts:
+                    cts, data = env.cts_signal, env.data_signal
+                    recycle_env(env)
+                    cts.fire(engine.now)
+                    yield data
+                else:
+                    recycle_env(env)
+            elif op == OP_ISEND:
+                peer, size, tag = ins[2], ins[3], ins[4]
+                if size <= eager_threshold:
+                    arrive_us, src_release = transfer(
+                        rank, peer, size, engine.now, power_hook
+                    )
+                    schedule(
+                        arrive_us, arrive, new_env(rank, peer, tag, size)
+                    )
+                    if signal_pool:
+                        done = signal_pool.pop()
+                        done.name = "isend"
+                        done.fired = False
+                        done.value = None
+                    else:
+                        done = Signal(engine, "isend")
+                    now_us = engine.now
+                    release = src_release if src_release > now_us else now_us
+                    schedule(release, done.fire, release)
+                else:
+                    done = new_signal("isend")
+                    engine.spawn(
+                        self._isend_rendezvous(rank, peer, size, tag, done),
+                        name=isend_name,
+                    )
+                ctx.pending_requests.append(done)
+            elif op == OP_IRECV:
+                ctx.pending_requests.append(self.irecv(rank, ins[2], ins[3]))
+            elif op == OP_WAITALL:
+                pending = ctx.pending_requests
+                if pending:
+                    ctx.pending_requests = []
+                    yield AllOf(pending)
+                    for sig in pending:
+                        recycle_signal(sig)
+            else:  # pragma: no cover - opcodes are closed
+                raise SimulationError(f"unknown opcode {op!r}")
+            log.append(MPIEvent(ins[1], enter, engine.now))
+            if directive is not None:
+                if directive.post_overhead_us > 0:
+                    yield 1.0 * directive.post_overhead_us
+                if (
+                    directive.shutdown_timer_us is not None
+                    and on_shutdown is not None
+                ):
+                    on_shutdown(
+                        rank,
+                        engine.now,
+                        directive.shutdown_timer_us,
+                        directive.shutdown_delay_us,
+                    )
+            call_index += 1
+
     # ----------------------------------------------------------- primitives
 
     def _transfer(self, src: int, dst: int, size: int, earliest: float):
-        return self.fabric.transfer(
-            src, dst, size, earliest, on_power_block=self.power_hook
+        """Push one message through the fabric: ``(arrive, src_release)``."""
+
+        return self.fabric.transfer_hot(
+            src, dst, size, earliest, self.power_hook
         )
 
     def _deliver(self, env: _Envelope, t_us: float) -> None:
@@ -252,18 +550,20 @@ class MPIWorld:
 
     def _arrive(self, env: _Envelope) -> None:
         ctx = self.ranks[env.dst]
-        posted = ctx.pop_posted(env.src, env.tag)
-        if posted is None:
-            ctx.add_unexpected(env)
+        key = (env.src, env.tag)
+        q = ctx.posted.get(key)
+        if not q:
+            ctx.unexpected.setdefault(key, deque()).append(env)
             return
+        sig = q.popleft()
         if env.is_rts:
             assert env.cts_signal is not None
             env.cts_signal.fire(self.engine.now)
             # the posted recv completes when the payload lands
             assert env.data_signal is not None
-            env.data_signal.add_callback(posted.signal.fire)
+            env.data_signal.add_callback(sig.fire)
         else:
-            posted.signal.fire(self.engine.now)
+            sig.fire(self.engine.now)
         self._recycle_envelope(env)
 
     def _send(self, rank: int, dst: int, size: int, tag: int):
@@ -274,11 +574,11 @@ class MPIWorld:
             # eager: the receiver completes off the envelope's arrival
             # event alone — no payload signal is needed, the matching
             # layer fires the posted recv (or queues the envelope)
-            timing = self._transfer(rank, dst, size, engine.now)
+            arrive_us, src_release = self._transfer(rank, dst, size, engine.now)
             env = self._new_envelope(rank, dst, tag, size)
-            self._deliver(env, timing.arrive_us)
-            release = max(engine.now, timing.src_release_us)
-            yield Delay(release - engine.now)
+            self._deliver(env, arrive_us)
+            now = engine.now
+            yield Delay(src_release - now if src_release > now else 0.0)
             return
         # rendezvous
         cts = engine.new_signal("cts")
@@ -288,10 +588,10 @@ class MPIWorld:
         self._deliver(env, engine.now + MPI_LATENCY_US)  # RTS flight
         yield cts  # receiver matched; CTS flies back
         start = engine.now + MPI_LATENCY_US
-        timing = self._transfer(rank, dst, size, start)
-        data.fire_at(timing.arrive_us, timing.arrive_us)
-        release = max(engine.now, timing.src_release_us)
-        yield Delay(release - engine.now)
+        arrive_us, src_release = self._transfer(rank, dst, size, start)
+        data.fire_at(arrive_us, arrive_us)
+        now = engine.now
+        yield Delay(src_release - now if src_release > now else 0.0)
 
     def _recv(self, rank: int, src: int, tag: int):
         """Blocking-receive generator."""
@@ -301,7 +601,7 @@ class MPIWorld:
         env = ctx.pop_unexpected(src, tag)
         if env is None:
             sig = engine.new_signal("recv")
-            ctx.add_posted(src, tag, _PostedRecv(sig))
+            ctx.add_posted(src, tag, sig)
             yield sig
             # the signal's only waiter (this process) has been resumed
             engine.recycle_signal(sig)
@@ -328,6 +628,28 @@ class MPIWorld:
         self.engine.spawn(runner(), name=kind)
         return done
 
+    def _isend_rendezvous(self, rank: int, dst: int, size: int, tag: int,
+                          done: Signal):
+        """Helper-process body of a rendezvous isend: :meth:`_send`
+        flattened into one frame (no ``yield from`` nesting) with the
+        completion fire appended — the exact same yield/schedule
+        sequence as ``_spawn_op(self._send(...))`` used to produce."""
+
+        engine = self.engine
+        cts = engine.new_signal("cts")
+        data = engine.new_signal("data")
+        env = self._new_envelope(rank, dst, tag, size, is_rts=True,
+                                 data_signal=data, cts_signal=cts)
+        self._deliver(env, engine.now + MPI_LATENCY_US)  # RTS flight
+        yield cts  # receiver matched; CTS flies back
+        arrive_us, src_release = self._transfer(
+            rank, dst, size, engine.now + MPI_LATENCY_US
+        )
+        data.fire_at(arrive_us, arrive_us)
+        now = engine.now
+        yield Delay(src_release - now if src_release > now else 0.0)
+        done.fire(engine.now)
+
     def isend(self, rank: int, dst: int, size: int, tag: int) -> Signal:
         """Nonblocking send; returns its completion signal.
 
@@ -341,15 +663,19 @@ class MPIWorld:
 
         if size <= self.eager_threshold:
             engine = self.engine
-            timing = self._transfer(rank, dst, size, engine.now)
-            self._deliver(self._new_envelope(rank, dst, tag, size),
-                          timing.arrive_us)
+            arrive_us, src_release = self._transfer(rank, dst, size, engine.now)
+            self._deliver(self._new_envelope(rank, dst, tag, size), arrive_us)
             done = engine.new_signal("isend")
-            release = max(engine.now, timing.src_release_us)
+            now = engine.now
+            release = src_release if src_release > now else now
             done.fire_at(release, release)
             return done
-        return self._spawn_op(self._send(rank, dst, size, tag),
-                              self._isend_names[rank])
+        done = self.engine.new_signal("isend")
+        self.engine.spawn(
+            self._isend_rendezvous(rank, dst, size, tag, done),
+            name=self._isend_names[rank],
+        )
+        return done
 
     def irecv(self, rank: int, src: int, tag: int) -> Signal:
         return self._spawn_op(self._recv(rank, src, tag),

@@ -1,0 +1,244 @@
+"""Compiled rank programs: flat opcode streams for the replay hot loop.
+
+The interpreted replay path (:meth:`repro.sim.mpi.MPIWorld.rank_program`)
+walks each rank's heterogeneous record list per replay: an ``isinstance``
+chain per record, a sub-generator per MPI operation (``yield from``
+through ``_execute_p2p`` / ``_execute_collective`` / ``_send`` /
+``_recv``) and a collective-schedule cache lookup per collective
+instance.  Trace-driven simulators (SynchroTrace and friends) instead
+*pre-compile* the event stream once and replay a flat program; this
+module brings that shape here.
+
+:func:`compile_trace` lowers a :class:`~repro.trace.trace.Trace` into one
+:class:`RankProgram` per rank — a tuple of plain instruction tuples
+``(opcode, ...)``:
+
+* consecutive :class:`~repro.trace.events.Compute` records are coalesced
+  into a single ``OP_DELAY`` carrying the *raw* (unscaled) duration; the
+  driver divides by ``cpu_speedup`` at run time, exactly like the
+  interpreter, so the scaling arithmetic is bit-for-bit identical;
+* collectives resolve their memoised relative step schedule **at compile
+  time** (:func:`repro.sim.collectives.schedule_steps` is a pure function
+  of ``(kind, rank, nranks, size, root)``), lowered further into plain
+  ``(step_op, peer, size_bytes, rel_tag)`` tuples so the driver touches
+  no :class:`~repro.sim.collectives.Step` attributes per step;
+* the eager/rendezvous decision is **not** baked in — message sizes stay
+  in the instructions and the driver compares against the world's eager
+  threshold at run time, so one compiled trace serves every protocol
+  configuration.
+
+The driver itself lives in :meth:`repro.sim.mpi.MPIWorld.run_program`;
+it dispatches on the small-integer opcode (a per-opcode branch table)
+instead of ``isinstance`` chains, and inlines the hot operations so a
+whole rank executes as **one** generator frame — no per-operation
+sub-generators for the engine's ``send`` to traverse.
+
+Equivalence contract: a compiled program must drive the engine through
+*exactly* the same request sequence (same yields, same ``_schedule``
+calls in the same order, same float arithmetic) as the interpreter on the
+same records — the differential harness
+(``tests/sim/test_differential_kernels.py``) holds the two bit-for-bit
+equal across the full workload × protocol × scheduler matrix.  The one
+intentional difference is invisible to the simulation: traces whose
+builders did not already coalesce adjacent compute bursts sum the raw
+durations at compile time (``ProcessTrace.compute`` performs the same
+summation at build time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..trace.events import Collective, Compute, MPICall, PointToPoint, TraceRecord
+from ..trace.trace import Trace
+from . import collectives as coll
+
+# -- opcodes ----------------------------------------------------------------
+# Instruction layouts (plain tuples; index 0 is always the opcode and, for
+# MPI operations, index 1 is always the MPICall used for event logging):
+
+#: ``(OP_DELAY, raw_duration_us)`` — coalesced compute burst
+OP_DELAY = 0
+#: ``(OP_SEND, call, peer, size_bytes, tag)`` — blocking send
+OP_SEND = 1
+#: ``(OP_RECV, call, peer, tag)`` — blocking receive
+OP_RECV = 2
+#: ``(OP_ISEND, call, peer, size_bytes, tag)`` — nonblocking send
+OP_ISEND = 3
+#: ``(OP_IRECV, call, peer, tag)`` — nonblocking receive
+OP_IRECV = 4
+#: ``(OP_WAITALL, call)`` — drain all pending requests (WAIT and WAITALL)
+OP_WAITALL = 5
+#: ``(OP_SENDRECV, call, peer, size_bytes, tag, recv_src)``
+OP_SENDRECV = 6
+#: ``(OP_COLLECTIVE, call, steps)`` — steps are lowered relative-tag
+#: tuples ``(step_op, peer, size_bytes, rel_tag)``
+OP_COLLECTIVE = 7
+
+#: collective step micro-opcodes (see ``_lower_steps``)
+STEP_SEND = 0        # blocking send
+STEP_SEND_ASYNC = 1  # concurrent send (isend, awaited by the trailing barrier)
+STEP_RECV = 2        # blocking receive
+
+
+def _lower_steps(steps: Sequence[coll.Step]) -> tuple:
+    """Lower a memoised relative schedule into plain step tuples."""
+
+    lowered = []
+    for s in steps:
+        if s.kind == "send":
+            op = STEP_SEND_ASYNC if s.concurrent else STEP_SEND
+        else:
+            op = STEP_RECV
+        lowered.append((op, s.peer, s.size_bytes, s.tag))
+    return tuple(lowered)
+
+
+def compile_records(
+    records: Sequence[TraceRecord], rank: int, nranks: int
+) -> tuple:
+    """Compile one rank's record list into a flat instruction tuple."""
+
+    code: list[tuple] = []
+    pending_delay = 0.0
+    have_delay = False
+    for rec in records:
+        if isinstance(rec, Compute):
+            # coalesce adjacent bursts; raw durations are summed exactly
+            # like ProcessTrace.compute does at build time
+            pending_delay = pending_delay + rec.duration_us if have_delay else rec.duration_us
+            have_delay = True
+            continue
+        if have_delay:
+            code.append((OP_DELAY, pending_delay))
+            have_delay = False
+        if isinstance(rec, PointToPoint):
+            call = rec.call
+            if call is MPICall.SEND:
+                code.append((OP_SEND, call, rec.peer, rec.size_bytes, rec.tag))
+            elif call is MPICall.RECV:
+                code.append((OP_RECV, call, rec.peer, rec.tag))
+            elif call is MPICall.ISEND:
+                code.append((OP_ISEND, call, rec.peer, rec.size_bytes, rec.tag))
+            elif call is MPICall.IRECV:
+                code.append((OP_IRECV, call, rec.peer, rec.tag))
+            elif call in (MPICall.WAIT, MPICall.WAITALL):
+                code.append((OP_WAITALL, call))
+            elif call in (MPICall.SENDRECV, MPICall.SENDRECV_REPLACE):
+                src = rec.recv_peer if rec.recv_peer is not None else rec.peer
+                code.append(
+                    (OP_SENDRECV, call, rec.peer, rec.size_bytes, rec.tag, src)
+                )
+            else:  # pragma: no cover - record types are closed
+                raise ValueError(f"unhandled point-to-point call {call!r}")
+        elif isinstance(rec, Collective):
+            steps = coll.schedule_steps(
+                rec.call, rank, nranks, rec.size_bytes, rec.root
+            )
+            code.append((OP_COLLECTIVE, rec.call, _lower_steps(steps)))
+        else:  # pragma: no cover - record types are closed
+            raise ValueError(f"unknown record {rec!r}")
+    if have_delay:
+        code.append((OP_DELAY, pending_delay))
+    return tuple(code)
+
+
+@dataclass(frozen=True, slots=True)
+class RankProgram:
+    """One rank's compiled instruction stream."""
+
+    rank: int
+    code: tuple
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledTrace:
+    """All ranks' programs plus the identity of the trace they came from.
+
+    The identity fields let the replay drivers reject a program set that
+    was compiled for a different trace (the same guard discipline as
+    ``Fabric.build_signature``).  ``trace_meta`` captures the generator
+    parameters (seed, iterations, scaling) that the workload generators
+    record on ``Trace.meta``, so two same-named, same-shaped traces from
+    different seeds do not silently share programs; hand-built traces
+    with empty meta fall back to the structural fields.
+    """
+
+    trace_name: str
+    nranks: int
+    total_records: int
+    programs: tuple[RankProgram, ...]
+    trace_meta: tuple = ()
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(len(p) for p in self.programs)
+
+    def comm_pairs(self) -> set[tuple[int, int]]:
+        """Every (src, dst) host pair this trace will transfer on.
+
+        Collective schedules are already expanded into the instructions,
+        so the full set is known before the first replay — drivers hand
+        it to :meth:`repro.network.fabric.Fabric.precompile_pairs` so
+        route/hop-table compilation happens at build time (the way an IB
+        subnet manager programs forwarding tables ahead of traffic)
+        instead of lazily inside the first timed replay.
+        """
+
+        pairs: set[tuple[int, int]] = set()
+        for prog in self.programs:
+            rank = prog.rank
+            for ins in prog.code:
+                op = ins[0]
+                if op in (OP_SEND, OP_ISEND):
+                    pairs.add((rank, ins[2]))
+                elif op == OP_SENDRECV:
+                    pairs.add((rank, ins[2]))
+                    pairs.add((ins[5], rank))
+                elif op in (OP_RECV, OP_IRECV):
+                    pairs.add((ins[2], rank))
+                elif op == OP_COLLECTIVE:
+                    for sop, peer, _size, _tag in ins[2]:
+                        if sop == STEP_RECV:
+                            pairs.add((peer, rank))
+                        else:
+                            pairs.add((rank, peer))
+        return pairs
+
+    def matches(self, trace: Trace) -> bool:
+        return (
+            self.trace_name == trace.name
+            and self.nranks == trace.nranks
+            and self.total_records == trace.total_records
+            and self.trace_meta == _meta_signature(trace)
+        )
+
+
+def _meta_signature(trace: Trace) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in trace.meta.items()))
+
+
+def compile_trace(trace: Trace) -> CompiledTrace:
+    """Compile every rank of ``trace`` (done once, reused per replay).
+
+    Drivers compile a trace once per cell and hand the result to
+    :func:`repro.sim.dimemas.replay_baseline` /
+    :func:`~repro.sim.dimemas.replay_managed` via their ``programs=``
+    parameter, the same sharing idiom as ``fabric=``.
+    """
+
+    nranks = trace.nranks
+    return CompiledTrace(
+        trace_name=trace.name,
+        nranks=nranks,
+        total_records=trace.total_records,
+        programs=tuple(
+            RankProgram(p.rank, compile_records(p.records, p.rank, nranks))
+            for p in trace.processes
+        ),
+        trace_meta=_meta_signature(trace),
+    )

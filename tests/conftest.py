@@ -14,6 +14,15 @@ from repro.trace.events import (
 from repro.trace.trace import Trace
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "differential: cross-kernel/scheduler differential matrix "
+        "(slow; excluded by `make test-fast`, included by `make "
+        "test-full`)",
+    )
+
+
 def make_event_stream(pattern, *, call_dur_us=3.0, start_us=0.0):
     """Build a timed MPI event stream from (call, gap_before) pairs.
 

@@ -1,8 +1,13 @@
-"""Tests for the discrete-event engine."""
+"""Tests for the discrete-event engine (both schedulers)."""
 
 import pytest
 
 from repro.sim.engine import AllOf, Delay, Engine, Signal, SimulationError
+
+
+@pytest.fixture(params=["heap", "calendar"])
+def scheduler(request):
+    return request.param
 
 
 class TestDelay:
@@ -241,3 +246,310 @@ class TestErrors:
         eng.run()
         assert p.done
         assert p.result == "done"
+
+
+class TestSchedulerSelection:
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            Engine("fibonacci")
+
+    def test_calendar_geometry_validated(self):
+        with pytest.raises(ValueError, match="power of two"):
+            Engine("calendar", calendar_nbuckets=100)
+        with pytest.raises(ValueError, match="positive"):
+            Engine("calendar", calendar_bucket_us=0.0)
+
+    def test_schedulers_equivalent_on_interleaved_workload(self):
+        """Same program, same timestamps, same results on both queues."""
+
+        def run(sched):
+            eng = Engine(sched)
+            order = []
+
+            def proc(name, delays):
+                for d in delays:
+                    yield Delay(d)
+                    order.append((eng.now, name))
+
+            eng.spawn(proc("a", [1.0, 0.0, 2.5, 0.0]))
+            eng.spawn(proc("b", [1.0, 2.5, 0.0, 0.0]))
+            eng.spawn(proc("c", [3.5, 0.0, 0.0, 123456.0]))
+            end = eng.run()
+            return end, order
+
+        assert run("heap") == run("calendar")
+
+
+class TestEngineEdgeCases:
+    def test_run_until_early_stop(self, scheduler):
+        eng = Engine(scheduler)
+
+        def proc():
+            for _ in range(10):
+                yield Delay(1.0)
+
+        eng.spawn(proc())
+        assert eng.run(until_us=4.5) == 4.5
+        assert eng.unfinished == 1
+        assert eng.run() == 10.0
+        assert eng.unfinished == 0
+
+    def test_run_until_exact_event_time_includes_event(self, scheduler):
+        eng = Engine(scheduler)
+        seen = []
+
+        def proc():
+            yield Delay(2.0)
+            seen.append(eng.now)
+            yield Delay(2.0)
+            seen.append(eng.now)
+
+        eng.spawn(proc())
+        # events exactly at until_us are processed (only later ones wait)
+        assert eng.run(until_us=2.0) == 2.0
+        assert seen == [2.0]
+        eng.run()
+        assert seen == [2.0, 4.0]
+
+    def test_spawn_while_paused_preserves_order(self, scheduler):
+        """Events scheduled during an until_us pause run in time order
+        when the engine resumes (the serving pointer rewinds)."""
+
+        eng = Engine(scheduler)
+        log = []
+
+        def late():
+            yield Delay(100.0)
+            log.append(("late", eng.now))
+
+        def early():
+            yield Delay(1.0)
+            log.append(("early", eng.now))
+
+        eng.spawn(late())
+        eng.run(until_us=50.0)
+        eng.spawn(early())  # fires at 51.0, far before the pending 100.0
+        eng.run()
+        assert log == [("early", 51.0), ("late", 100.0)]
+
+    def test_empty_allof_resumes(self, scheduler):
+        eng = Engine(scheduler)
+        got = []
+
+        def proc():
+            values = yield AllOf([])
+            got.append(values)
+
+        eng.spawn(proc())
+        eng.run()
+        assert got == [[]]
+
+    def test_negative_delay_rejected(self, scheduler):
+        eng = Engine(scheduler)
+
+        def proc():
+            yield Delay(-0.5)
+
+        eng.spawn(proc())
+        with pytest.raises(SimulationError, match="negative delay"):
+            eng.run()
+
+    def test_negative_float_delay_rejected(self, scheduler):
+        """The allocation-free bare-float yield validates like Delay."""
+
+        eng = Engine(scheduler)
+
+        def proc():
+            yield -1.0
+
+        eng.spawn(proc())
+        with pytest.raises(SimulationError, match="negative delay"):
+            eng.run()
+
+    def test_bare_float_yield_is_a_delay(self, scheduler):
+        eng = Engine(scheduler)
+        log = []
+
+        def proc():
+            yield 2.5
+            log.append(eng.now)
+            yield 0.0
+            log.append(eng.now)
+
+        eng.spawn(proc())
+        assert eng.run() == 2.5
+        assert log == [2.5, 2.5]
+
+    def test_schedule_in_past_rejected(self, scheduler):
+        eng = Engine(scheduler)
+
+        def proc():
+            yield Delay(10.0)
+            eng.call_at(5.0, lambda: None)
+
+        eng.spawn(proc())
+        with pytest.raises(SimulationError, match="past"):
+            eng.run()
+
+    def test_deadlock_message_names_blocked_processes(self, scheduler):
+        eng = Engine(scheduler)
+        sig = eng.new_signal("never")
+
+        def stuck():
+            yield sig
+
+        eng.spawn(stuck(), name="rank7")
+        with pytest.raises(SimulationError, match="deadlock.*rank7"):
+            eng.run()
+
+    def test_deadlock_message_truncates_after_eight(self, scheduler):
+        eng = Engine(scheduler)
+        sig = eng.new_signal("never")
+
+        def stuck():
+            yield sig
+
+        for i in range(10):
+            eng.spawn(stuck(), name=f"p{i}")
+        with pytest.raises(SimulationError) as err:
+            eng.run()
+        message = str(err.value)
+        assert "10 process(es)" in message
+        assert "p7" in message and "p8" not in message
+        assert message.endswith("...")
+
+    def test_far_future_events_served_in_order(self, scheduler):
+        """Sparse timelines (many empty calendar days) stay ordered —
+        exercises the calendar queue's direct-search fallback."""
+
+        eng = Engine(scheduler)
+        log = []
+
+        def sleeper(name, t):
+            yield Delay(t)
+            log.append((eng.now, name))
+
+        # far apart (>> one calendar day each), scheduled out of order
+        eng.spawn(sleeper("c", 1e7))
+        eng.spawn(sleeper("a", 5.0))
+        eng.spawn(sleeper("b", 1e5))
+        eng.run()
+        assert log == [(5.0, "a"), (1e5, "b"), (1e7, "c")]
+        if scheduler == "calendar":
+            assert eng.scheduler_stats()["direct_searches"] >= 1
+
+    def test_scheduler_stats_empty_for_heap(self):
+        assert Engine("heap").scheduler_stats() == {}
+
+
+class TestSignalRecycling:
+    def test_recycle_unfired_signal_is_refused(self, scheduler):
+        """Recycling an unfired signal must NOT put it in the pool — a
+        fresh new_signal() would otherwise alias a signal some process
+        still waits on."""
+
+        eng = Engine(scheduler)
+        sig = eng.new_signal("pending")
+        eng.recycle_signal(sig)
+        assert eng.new_signal("fresh") is not sig
+
+    def test_recycle_signal_with_waiters_is_refused(self, scheduler):
+        eng = Engine(scheduler)
+        sig = eng.new_signal("watched")
+        sig.add_callback(lambda v: None)
+        # fire() resumes current waiters, but a callback added *after*
+        # the fire keeps the signal alive until it drains
+        sig.fired = True
+        sig._waiters.append(lambda v: None)
+        eng.recycle_signal(sig)
+        assert eng.new_signal("fresh") is not sig
+
+    def test_recycle_fired_drained_signal_is_reused(self, scheduler):
+        eng = Engine(scheduler)
+        sig = eng.new_signal("done")
+        sig.fire(42)
+        eng.recycle_signal(sig)
+        reused = eng.new_signal("fresh")
+        assert reused is sig
+        assert reused.fired is False and reused.value is None
+
+
+class TestBarrierOrdering:
+    """Regression tests for the closure-free _await_all (empty and
+    pre-fired barriers must resume through the queue in insertion
+    order, exactly like waiters on fired signals)."""
+
+    def test_empty_barriers_resume_in_insertion_order(self, scheduler):
+        eng = Engine(scheduler)
+        order = []
+
+        def proc(name):
+            yield AllOf([])
+            order.append(name)
+
+        for name in ("a", "b", "c"):
+            eng.spawn(proc(name))
+        eng.run()
+        assert order == ["a", "b", "c"]
+
+    def test_prefired_barriers_resume_in_insertion_order(self, scheduler):
+        eng = Engine(scheduler)
+        sig = eng.new_signal()
+        sig.fire("v")
+        order = []
+
+        def barrier_proc(name):
+            values = yield AllOf([sig, sig])
+            order.append((name, values))
+
+        def signal_proc(name):
+            value = yield sig
+            order.append((name, value))
+
+        eng.spawn(barrier_proc("bar1"))
+        eng.spawn(signal_proc("sig1"))
+        eng.spawn(barrier_proc("bar2"))
+        eng.run()
+        assert order == [
+            ("bar1", ["v", "v"]),
+            ("sig1", "v"),
+            ("bar2", ["v", "v"]),
+        ]
+
+    def test_mixed_fired_and_pending_barrier(self, scheduler):
+        eng = Engine(scheduler)
+        fired = eng.new_signal()
+        fired.fire(1)
+        pending = eng.new_signal()
+        got = []
+
+        def waiter():
+            values = yield AllOf([fired, pending, fired])
+            got.append((eng.now, values))
+
+        def firer():
+            yield Delay(4.0)
+            pending.fire(2)
+
+        eng.spawn(waiter())
+        eng.spawn(firer())
+        eng.run()
+        assert got == [(4.0, [1, 2, 1])]
+
+    def test_duplicate_pending_signal_counts_each_wait(self, scheduler):
+        eng = Engine(scheduler)
+        sig = eng.new_signal()
+        got = []
+
+        def waiter():
+            values = yield AllOf([sig, sig])
+            got.append(values)
+
+        def firer():
+            yield Delay(1.0)
+            sig.fire("x")
+
+        eng.spawn(waiter())
+        eng.spawn(firer())
+        eng.run()
+        assert got == [["x", "x"]]

@@ -196,3 +196,35 @@ class TestWorkersEquivalence:
         assert m_fast.exec_time_us == m_ref.exec_time_us
         assert m_fast.event_logs == m_ref.event_logs
         assert m_fast.power == m_ref.power
+
+
+class TestCompiledProgramGuard:
+    def test_mismatched_programs_rejected(self):
+        from repro.sim import compile_trace
+
+        progs = compile_trace(make_trace("alya", 8, iterations=3, seed=1))
+        other = make_trace("alya", 8, iterations=4, seed=1)
+        with pytest.raises(ValueError, match="compiled for"):
+            replay_baseline(other, ReplayConfig(seed=1), programs=progs)
+
+    def test_same_shape_different_seed_rejected(self):
+        """Two same-named traces of equal length but different seeds must
+        not share compiled programs (the meta signature carries the seed)."""
+
+        from repro.sim import compile_trace
+
+        progs = compile_trace(make_trace("alya", 8, iterations=3, seed=1))
+        other = make_trace("alya", 8, iterations=3, seed=2)
+        assert not progs.matches(other)
+        with pytest.raises(ValueError, match="compiled for"):
+            replay_baseline(other, ReplayConfig(seed=2), programs=progs)
+
+    def test_matching_programs_accepted_and_shared(self):
+        from repro.sim import compile_trace
+
+        trace = make_trace("alya", 8, iterations=3, seed=1)
+        progs = compile_trace(trace)
+        cfg = ReplayConfig(seed=1)
+        a = replay_baseline(trace, cfg, programs=progs)
+        b = replay_baseline(trace, cfg, programs=progs)
+        assert a.exec_time_us == b.exec_time_us
