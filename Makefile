@@ -12,11 +12,14 @@
 #                     benchmarks/BENCH_pipeline.json (covers the compiled
 #                     fast kernel and both schedulers' stage timings)
 #   make bench-record re-record the smoke reference on this machine
+#   make topo-smoke   gate the topology sweep: one small cell per family
+#                     (fitted / torus / dragonfly / fattree2), each
+#                     verified fast == reference kernel
 
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-full bench bench-smoke bench-record
+.PHONY: test test-fast test-full bench bench-smoke bench-record topo-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -36,3 +39,7 @@ bench-smoke:
 bench-record:
 	rm -f benchmarks/BENCH_pipeline.json
 	REPRO_ITERATIONS=10 $(PY) -m repro.cli bench --smoke
+
+topo-smoke:
+	$(PY) -m repro.cli topo-sweep --apps alya --nranks 8 \
+		--iterations 6 --verify

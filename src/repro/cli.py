@@ -11,7 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli timeline --app gromacs --nranks 16
     python -m repro.cli gen --app alya --nranks 8 -o alya8.dim
     python -m repro.cli replay alya8.dim [--displacement 0.01]
-    python -m repro.cli bench [--smoke]
+    python -m repro.cli topo-sweep [--topologies fitted torus:n=2 ...]
+    python -m repro.cli bench [--smoke] [--topology torus:n=2]
 
 Each subcommand prints the regenerated table/figure; ``--csv PATH``
 additionally writes machine-readable output.  ``gen``/``replay`` export
@@ -21,8 +22,12 @@ on any trace file (including hand-written ones); ``replay`` takes
 or the reference interpreter and the calendar-queue or heapq event
 queue (all combinations are bit-for-bit identical).  ``--workers N``
 (or ``REPRO_WORKERS``) fans the per-rank planning passes and the
-independent cells of a figure grid out over worker processes; results
-are identical to the sequential run.  ``bench`` times
+independent cells of the figure/table/sweep grids out over worker
+processes; results are identical to the sequential run.  ``topo-sweep``
+replays paper workloads across topology families (``--topology`` /
+``--topologies`` take spec strings like ``torus:k=4,n=2`` — the
+``repro.network.topologies`` registry documents each family's
+parameters).  ``bench`` times
 the pipeline stages and writes ``BENCH_pipeline.json``; with ``--smoke``
 it fails on a >3x slowdown against the recorded reference, and with
 ``--profile`` it captures the replay stages under cProfile, prints the
@@ -44,13 +49,16 @@ from .experiments import (
     format_table1,
     format_table3,
     format_table4,
+    format_topo_sweep,
     run_cell,
     run_fig10,
     run_figure,
     run_table1,
     run_table3,
     run_table4,
+    run_topo_sweep,
 )
+from .network import topology_help
 from .workloads import APPLICATIONS
 
 
@@ -63,7 +71,8 @@ def _write_csv(path: str, header: Sequence[str], rows: Sequence[Sequence]) -> No
 
 
 def _cmd_table1(args) -> None:
-    rows = run_table1(apps=args.apps, iterations=args.iterations)
+    rows = run_table1(apps=args.apps, iterations=args.iterations,
+                      workers=args.workers)
     print(format_table1(rows))
     if args.csv:
         _write_csv(
@@ -77,7 +86,8 @@ def _cmd_table1(args) -> None:
 
 
 def _cmd_table3(args) -> None:
-    rows = run_table3(apps=args.apps, iterations=args.iterations)
+    rows = run_table3(apps=args.apps, iterations=args.iterations,
+                      workers=args.workers)
     print(format_table3(rows))
     if args.csv:
         _write_csv(
@@ -89,7 +99,7 @@ def _cmd_table3(args) -> None:
 
 def _cmd_table4(args) -> None:
     rows = run_table4(apps=args.apps, nranks=args.nranks,
-                      iterations=args.iterations)
+                      iterations=args.iterations, workers=args.workers)
     print(format_table4(rows))
     if args.csv:
         _write_csv(
@@ -132,10 +142,11 @@ def _cmd_fig10(args) -> None:
 def _cmd_cell(args) -> None:
     cell = run_cell(args.app, args.nranks,
                     displacements=(args.displacement,),
-                    iterations=args.iterations)
+                    iterations=args.iterations,
+                    topology=args.topology)
     m = cell.managed[args.displacement]
     print(f"{args.app} @ {args.nranks} ranks, displacement "
-          f"{args.displacement * 100:.0f}%")
+          f"{args.displacement * 100:.0f}%, topology {args.topology}")
     print(f"  GT              : {cell.gt_us:.0f} us")
     print(f"  hit rate        : {cell.hit_rate_pct:.1f} %")
     print(f"  power savings   : {m.power_savings_pct:.2f} %")
@@ -181,11 +192,13 @@ def _cmd_replay(args) -> None:
         for p in problems[:10]:
             print(f"  {p}", file=sys.stderr)
         raise SystemExit(2)
-    replay_cfg = ReplayConfig(kernel=args.kernel, scheduler=args.scheduler)
+    replay_cfg = ReplayConfig(kernel=args.kernel, scheduler=args.scheduler,
+                              topology=args.topology)
     baseline = replay_baseline(trace, replay_cfg)
     print(f"{trace.name}: {trace.nranks} ranks, baseline "
           f"{baseline.exec_time_us / 1e3:.3f} ms "
-          f"[{args.kernel} kernel, {args.scheduler} scheduler]")
+          f"[{args.kernel} kernel, {args.scheduler} scheduler, "
+          f"{args.topology} topology]")
     gt = select_gt(baseline.event_logs)
     print(f"GT = {gt.gt_us:.0f} us, hit rate = {gt.hit_rate_pct:.1f}%")
     cfg = RuntimeConfig(gt_us=gt.gt_us, displacement=args.displacement)
@@ -203,6 +216,30 @@ def _cmd_replay(args) -> None:
     print(f"shutdowns       : {managed.total_shutdowns}")
 
 
+def _cmd_topo_sweep(args) -> None:
+    rows = run_topo_sweep(
+        apps=args.apps,
+        nranks_list=tuple(args.nranks),
+        topologies=args.topologies,
+        displacement=args.displacement,
+        iterations=args.iterations,
+        workers=args.workers,
+        verify=args.verify,
+    )
+    print(format_topo_sweep(rows))
+    if args.verify:
+        print("[fast == reference kernel equality verified on every "
+              "family]", file=sys.stderr)
+    if args.csv:
+        _write_csv(
+            args.csv,
+            ["topology", "family", "app", "nranks", "hosts", "switches",
+             "links", "gt_us", "hit_rate_pct", "savings_pct",
+             "slowdown_pct", "switch_savings_pct"],
+            [r.cells() for r in rows],
+        )
+
+
 def _cmd_bench(args) -> None:
     from . import perf
 
@@ -217,10 +254,11 @@ def _cmd_bench(args) -> None:
             print("bench: --profile cannot be combined with --smoke "
                   "or --csv", file=sys.stderr)
             raise SystemExit(2)
-        profile_path = perf.output_path().parent / "replay_profile.prof"
+        profile_path = (perf.output_path(args.topology).parent
+                        / "replay_profile.prof")
     result = perf.run_pipeline_benchmark(
         app=args.app, nranks=args.nranks, iterations=iterations,
-        profile_path=profile_path,
+        profile_path=profile_path, topology=args.topology,
     )
     if args.profile:
         print(result.pop("profile_top"))
@@ -233,7 +271,7 @@ def _cmd_bench(args) -> None:
         print("[benchmark JSON not written: timings include cProfile "
               "overhead]", file=sys.stderr)
         return
-    out = perf.output_path()
+    out = perf.output_path(args.topology)
     perf.write_benchmark(result, out)
     print(f"[benchmark written to {out}]", file=sys.stderr)
     if args.csv:
@@ -244,7 +282,7 @@ def _cmd_bench(args) -> None:
         )
     if not args.smoke:
         return
-    ref_path = perf.reference_path()
+    ref_path = perf.reference_path(args.topology)
     if not ref_path.exists():
         perf.write_benchmark(result, ref_path)
         print(f"[no reference found; recorded {ref_path}]", file=sys.stderr)
@@ -275,7 +313,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--csv", default=None, help="also write CSV here")
         p.add_argument("--workers", type=int, default=None,
                        help="worker processes for per-rank planning passes "
+                            "and independent grid cells "
                             "(default: REPRO_WORKERS or 1)")
+
+    def topology_option(p):
+        p.add_argument(
+            "--topology", default="fitted",
+            help="topology spec 'family[:key=value,...]'. Families: "
+                 + topology_help(),
+        )
 
     p = sub.add_parser("table1", help="idle-interval distribution")
     p.add_argument("--apps", nargs="*", default=None, choices=APPLICATIONS)
@@ -310,8 +356,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--app", required=True, choices=APPLICATIONS)
     p.add_argument("--nranks", type=int, required=True)
     p.add_argument("--displacement", type=float, default=0.01)
+    topology_option(p)
     common(p)
     p.set_defaults(func=_cmd_cell)
+
+    p = sub.add_parser(
+        "topo-sweep",
+        help="energy savings vs topology family (paper workloads x "
+             "families x nranks)",
+    )
+    p.add_argument("--apps", nargs="*", default=None, choices=APPLICATIONS)
+    p.add_argument("--nranks", nargs="*", type=int, default=[16])
+    p.add_argument(
+        "--topologies", nargs="*", default=None,
+        help="topology specs 'family[:key=value,...]' (default: fitted + "
+             "torus + dragonfly + fattree2). Families: " + topology_help(),
+    )
+    p.add_argument("--displacement", type=float, default=0.05)
+    p.add_argument("--verify", action="store_true",
+                   help="re-run every cell on the reference replay kernel "
+                        "and fail on any fast/reference divergence")
+    common(p)
+    p.set_defaults(func=_cmd_topo_sweep)
 
     p = sub.add_parser("timeline", help="Fig. 6 power-mode timeline")
     p.add_argument("--app", default="gromacs", choices=APPLICATIONS)
@@ -342,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("calendar", "heap"),
                    help="DES event queue: calendar queue (default) or "
                         "the heapq reference; bit-for-bit identical")
+    topology_option(p)
     common(p)
     p.set_defaults(func=_cmd_replay)
 
@@ -356,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="capture the replay stages under cProfile, print "
                         "the top functions and dump the stats next to the "
                         "benchmark output")
+    topology_option(p)
     common(p)
     p.set_defaults(func=_cmd_bench)
 

@@ -24,6 +24,12 @@ from .figs7_9 import (
 from .table1 import Table1Row, format_table1, run_table1
 from .table3 import Table3Row, format_table3, run_table3
 from .table4 import Table4Row, format_table4, run_table4
+from .topo_sweep import (
+    DEFAULT_TOPOLOGIES,
+    TopoSweepRow,
+    format_topo_sweep,
+    run_topo_sweep,
+)
 
 __all__ = [
     "CellResult",
@@ -50,4 +56,8 @@ __all__ = [
     "Table4Row",
     "format_table4",
     "run_table4",
+    "DEFAULT_TOPOLOGIES",
+    "TopoSweepRow",
+    "format_topo_sweep",
+    "run_topo_sweep",
 ]

@@ -79,6 +79,7 @@ from ..core import (
 )
 from ..concurrency import parallel_map, resolve_workers
 from ..network.fabric import Fabric
+from ..network.topologies import DEFAULT_TOPOLOGY
 from ..power.states import WRPSParams
 from ..sim import (
     BaselineResult,
@@ -161,16 +162,28 @@ def run_cell(
     wrps: WRPSParams | None = None,
     charge_overheads: bool = True,
     use_cache: bool = True,
+    topology: str = DEFAULT_TOPOLOGY,
+    kernel: str = "fast",
 ) -> CellResult:
-    """Run the full pipeline for one cell (memoised)."""
+    """Run the full pipeline for one cell (memoised).
+
+    ``topology`` selects the fabric family (a spec string — see
+    :mod:`repro.network.topologies`); ``kernel`` selects the replay
+    implementation (every kernel is bit-for-bit identical, the knob
+    exists so sweeps can cross-check families against the reference).
+    Both are part of the cell's memo identity.
+    """
 
     iters = iterations if iterations is not None else default_iterations()
     params = wrps or WRPSParams.paper()
-    key = _cache_key(app, nranks, iters, seed, scaling, params, charge_overheads)
+    key = _cache_key(
+        app, nranks, iters, seed, scaling, params, charge_overheads,
+        topology, kernel,
+    )
     cell = _CACHE.get(key) if use_cache else None
     if cell is None:
         trace = make_trace(app, nranks, iterations=iters, seed=seed, scaling=scaling)
-        replay_cfg = ReplayConfig(seed=seed)
+        replay_cfg = ReplayConfig(seed=seed, topology=topology, kernel=kernel)
         # one fabric per cell: construction and route compilation are
         # shared by the baseline and every managed replay (reset
         # between); one compiled program set likewise
@@ -220,8 +233,9 @@ def run_cell(
             cell.plan = plan_trace_directives_shared(
                 cell.baseline.event_logs, cfg
             )
+        replay_cfg = ReplayConfig(seed=seed, topology=topology, kernel=kernel)
         if cell.fabric is None:
-            cell.fabric = fabric_for(nranks, ReplayConfig(seed=seed))
+            cell.fabric = fabric_for(nranks, replay_cfg)
         if cell.programs is None:
             cell.programs = compile_trace(trace)
         for disp in missing:
@@ -232,7 +246,7 @@ def run_cell(
                 baseline_exec_time_us=cell.baseline.exec_time_us,
                 displacement=disp,
                 grouping_thresholds_us=[gt_us] * nranks,
-                config=ReplayConfig(seed=seed),
+                config=replay_cfg,
                 wrps=params,
                 runtime_stats=stats,
                 fabric=cell.fabric,
@@ -258,6 +272,8 @@ def _cache_key(
     scaling: str,
     params: WRPSParams,
     charge_overheads: bool,
+    topology: str,
+    kernel: str,
 ) -> tuple:
     """The cell memo key — the single definition shared by ``run_cell``
     and ``run_cells`` so the two can never drift apart.
@@ -265,9 +281,14 @@ def _cache_key(
     The full (frozen, hashable) WRPSParams is part of the identity: the
     cached plan's shutdown-timer filtering depends on t_deact_us too,
     so two calls differing in any WRPS field must not share a cell.
+    The topology spec and replay kernel are part of the identity too —
+    a torus baseline must never serve a fat-tree cell.
     """
 
-    return (app, nranks, iters, seed, scaling, params, charge_overheads)
+    return (
+        app, nranks, iters, seed, scaling, params, charge_overheads,
+        topology, kernel,
+    )
 
 
 def _cell_cache_key(spec: dict) -> tuple:
@@ -285,6 +306,8 @@ def _cell_cache_key(spec: dict) -> tuple:
         spec.get("scaling", "strong"),
         spec.get("wrps") or WRPSParams.paper(),
         spec.get("charge_overheads", True),
+        spec.get("topology", DEFAULT_TOPOLOGY),
+        spec.get("kernel", "fast"),
     )
 
 

@@ -13,7 +13,7 @@ from typing import Sequence
 
 from ..trace.intervals import IdleDistribution
 from ..workloads import DISPLAY_NAMES
-from .common import CellResult, paper_grid, run_cell
+from .common import CellResult, paper_grid, run_cells
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,19 +46,23 @@ def run_table1(
     *,
     iterations: int | None = None,
     seed: int = 1234,
+    workers: int | None = None,
 ) -> list[Table1Row]:
-    """All Table I rows (5 apps x 5 sizes by default)."""
+    """All Table I rows (5 apps x 5 sizes by default).
+
+    Independent (app, nranks) cells fan out over ``workers`` processes
+    (default: ``REPRO_WORKERS``); rows are identical to the serial run.
+    """
 
     from ..workloads import APPLICATIONS
 
-    rows: list[Table1Row] = []
-    for app in apps or APPLICATIONS:
-        for nranks in paper_grid(app):
-            cell = run_cell(
-                app, nranks, displacements=(), iterations=iterations, seed=seed
-            )
-            rows.append(build_row(cell))
-    return rows
+    specs = [
+        dict(app=app, nranks=nranks, displacements=(),
+             iterations=iterations, seed=seed)
+        for app in apps or APPLICATIONS
+        for nranks in paper_grid(app)
+    ]
+    return [build_row(cell) for cell in run_cells(specs, workers=workers)]
 
 
 def format_table1(rows: Sequence[Table1Row]) -> str:

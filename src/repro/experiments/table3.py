@@ -13,7 +13,7 @@ from typing import Sequence
 
 from ..core import GTEvaluation
 from ..workloads import APPLICATIONS, DISPLAY_NAMES
-from .common import CellResult, paper_grid, run_cell
+from .common import CellResult, paper_grid, run_cells
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,15 +51,18 @@ def run_table3(
     *,
     iterations: int | None = None,
     seed: int = 1234,
+    workers: int | None = None,
 ) -> list[Table3Row]:
-    rows: list[Table3Row] = []
-    for app in apps or APPLICATIONS:
-        for nranks in paper_grid(app):
-            cell = run_cell(
-                app, nranks, displacements=(), iterations=iterations, seed=seed
-            )
-            rows.append(build_row(cell))
-    return rows
+    """All Table III rows; cells fan out over ``workers`` processes
+    (default: ``REPRO_WORKERS``), bit-for-bit equal to the serial run."""
+
+    specs = [
+        dict(app=app, nranks=nranks, displacements=(),
+             iterations=iterations, seed=seed)
+        for app in apps or APPLICATIONS
+        for nranks in paper_grid(app)
+    ]
+    return [build_row(cell) for cell in run_cells(specs, workers=workers)]
 
 
 def format_table3(rows: Sequence[Table3Row]) -> str:

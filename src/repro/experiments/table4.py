@@ -15,7 +15,7 @@ from typing import Sequence
 
 from ..core import OverheadModel
 from ..workloads import APPLICATIONS, DISPLAY_NAMES
-from .common import run_cell
+from .common import run_cells
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,19 +34,24 @@ def run_table4(
     iterations: int | None = None,
     seed: int = 1234,
     overheads: OverheadModel | None = None,
+    workers: int | None = None,
 ) -> list[Table4Row]:
+    """Per-app PPA overheads; cells fan out over ``workers`` processes
+    (default: ``REPRO_WORKERS``), identical to the serial run."""
+
     model = overheads or OverheadModel()
+    specs = [
+        dict(app=app, nranks=nranks, displacements=(displacement,),
+             iterations=iterations, seed=seed)
+        for app in apps or APPLICATIONS
+    ]
     rows: list[Table4Row] = []
-    for app in apps or APPLICATIONS:
-        cell = run_cell(
-            app, nranks, displacements=(displacement,),
-            iterations=iterations, seed=seed,
-        )
+    for cell in run_cells(specs, workers=workers):
         reports = [s.overhead_report(model) for s in cell.runtime_stats]
         n = len(reports)
         rows.append(
             Table4Row(
-                app=app,
+                app=cell.app,
                 ppa_call_fraction_pct=sum(r.ppa_call_fraction_pct for r in reports) / n,
                 per_invoked_call_us=sum(r.per_invoked_call_us for r in reports) / n,
                 per_all_calls_us=sum(r.per_all_calls_us for r in reports) / n,

@@ -137,10 +137,30 @@ class Fabric:
         seed: int = 0,
         hosts_per_leaf: int = 18,
         random_routing: bool = True,
+        topology: "str | Topology | None" = None,
     ) -> "Fabric":
-        """A right-sized two-level paper-style fabric for ``nranks`` hosts."""
+        """A routed fabric sized for ``nranks`` hosts.
 
-        topo = fitted_topology(nranks, hosts_per_leaf=hosts_per_leaf)
+        ``topology`` selects the family: ``None`` keeps the paper's
+        right-sized two-level XGFT (``hosts_per_leaf`` applies), a spec
+        string (``"torus:k=4,n=2"``, see :mod:`repro.network.topologies`)
+        builds that family fitted to ``nranks``, and an already-built
+        :class:`Topology` is used as-is.
+        """
+
+        if topology is None:
+            topo = fitted_topology(nranks, hosts_per_leaf=hosts_per_leaf)
+        elif isinstance(topology, Topology):
+            if topology.num_hosts < nranks:
+                raise ValueError(
+                    f"topology provides {topology.num_hosts} hosts, fewer "
+                    f"than the {nranks} ranks it must carry"
+                )
+            topo = topology
+        else:
+            from .topologies import build_topology
+
+            topo = build_topology(topology, nranks)
         router: Router
         if random_routing:
             router = RandomRouter.seeded(topo, seed)

@@ -1,20 +1,26 @@
-"""Routing over XGFT fat trees: random (paper default) and deterministic.
+"""Routing over any topology family: random (paper default) + deterministic.
 
-Fat-tree routing is up*/down*: a packet climbs from the source host to a
-least common ancestor (LCA) switch, then descends to the destination.
-Structure of the XGFT makes this clean:
+Two routing substrates share one chooser-based interface
+(:func:`route_with_chooser`):
 
-* **ascent**: from any vertex that is a "top" of its height-(l-1) subtree,
-  every upward neighbour is a valid next hop — this is the only routing
-  freedom.  The paper uses **random routing** (Table II) at these choice
-  points; a d-mod-k-style deterministic router is provided for ablations.
-* **descent**: from a given ancestor the down path to a host is *unique*:
-  at each level exactly one down-neighbour lies in the child subtree that
-  contains the destination.
+* **XGFT fat trees** route up*/down*: a packet climbs from the source
+  host to a least common ancestor (LCA) switch, then descends.  The only
+  routing freedom is the ascent — from any vertex that is a "top" of its
+  height-(l-1) subtree, every upward neighbour is a valid next hop; the
+  chooser resolves each such choice point.  The paper uses **random
+  routing** (Table II) there; a d-mod-k-style deterministic router is
+  provided for ablations.  Descent is unique and computed arithmetically
+  from the :func:`repro.network.topology.build_xgft` construction (level
+  slices are ordered by subtree), so no graph search is needed.
+* **Every other family** (torus, dragonfly, oversubscribed fat tree, …)
+  routes minimally: the topology enumerates its deterministic candidate
+  shortest-path set (:meth:`~repro.network.topology.Topology.
+  candidate_paths`) and the chooser picks one whole path.
 
-Subtree membership is computed arithmetically from the construction used
-by :func:`repro.network.topology.build_xgft` (level slices are ordered by
-subtree), so no graph search is needed.
+Both substrates keep the same determinism contract: the chooser of a
+seeded table is a pure function of ``(seed, src, dst)``, so compiled
+routes never depend on pair-compile order or replay history, on any
+topology family.
 """
 
 from __future__ import annotations
@@ -137,6 +143,31 @@ def _updown_route(
     return path
 
 
+def route_with_chooser(
+    topo: Topology, src_host: int, dst_host: int, chooser
+) -> list[NodeId]:
+    """Family-agnostic path builder; ``chooser`` resolves routing freedom.
+
+    XGFT-spec topologies route up*/down* with the chooser applied per
+    ascent choice point (bit-for-bit the paper scheme); every other
+    family draws one choice among the topology's deterministic candidate
+    shortest-path set.  In both cases the chooser receives a non-empty
+    sequence and must return one of its elements, and it is only invoked
+    when there is genuine freedom (more than one candidate), so seeded
+    chooser streams are consumed identically across route recompiles.
+    """
+
+    if isinstance(topo.spec, XGFTSpec):
+        return _updown_route(topo, src_host, dst_host, chooser)
+    if src_host == dst_host:
+        return [topo.host(src_host)]
+    candidates = topo.candidate_paths(src_host, dst_host)
+    if not candidates:
+        raise ValueError(f"no path from host {src_host} to {dst_host}")
+    chosen = candidates[0] if len(candidates) == 1 else chooser(candidates)
+    return list(chosen)
+
+
 @dataclass
 class RandomRouter:
     """Random up*/down* routing (the paper's Table II scheme).
@@ -156,10 +187,10 @@ class RandomRouter:
         return cls(topo, np.random.default_rng(seed), seed)
 
     def route(self, src_host: int, dst_host: int) -> list[NodeId]:
-        def chooser(candidates: Sequence[NodeId]) -> NodeId:
+        def chooser(candidates: Sequence) -> NodeId:
             return candidates[int(self.rng.integers(len(candidates)))]
 
-        return _updown_route(self.topo, src_host, dst_host, chooser)
+        return route_with_chooser(self.topo, src_host, dst_host, chooser)
 
 
 @dataclass
@@ -173,10 +204,10 @@ class DeterministicRouter:
     topo: Topology
 
     def route(self, src_host: int, dst_host: int) -> list[NodeId]:
-        def chooser(candidates: Sequence[NodeId]) -> NodeId:
+        def chooser(candidates: Sequence) -> NodeId:
             return candidates[dst_host % len(candidates)]
 
-        return _updown_route(self.topo, src_host, dst_host, chooser)
+        return route_with_chooser(self.topo, src_host, dst_host, chooser)
 
 
 @dataclass
@@ -239,17 +270,17 @@ class RouteTable:
         if self.router is not None:
             return self.router.route(src_host, dst_host)
         if self.seed is None:
-            def chooser(candidates: Sequence[NodeId]) -> NodeId:
+            def chooser(candidates: Sequence) -> NodeId:
                 return candidates[dst_host % len(candidates)]
         else:
             rng = np.random.default_rng(
                 (self.seed & 0xFFFFFFFFFFFFFFFF, src_host, dst_host)
             )
 
-            def chooser(candidates: Sequence[NodeId]) -> NodeId:
+            def chooser(candidates: Sequence) -> NodeId:
                 return candidates[int(rng.integers(len(candidates)))]
 
-        return _updown_route(self.topo, src_host, dst_host, chooser)
+        return route_with_chooser(self.topo, src_host, dst_host, chooser)
 
 
 def path_links(path: Sequence[NodeId]) -> list[tuple[NodeId, NodeId]]:

@@ -1,0 +1,205 @@
+"""Pluggable topology families: the builder registry behind ``--topology``.
+
+The network layer is topology-agnostic: a :class:`~repro.network.topology.
+Topology` is just hosts + switches + edges with a deterministic
+candidate-path enumeration, and the fabric/route-table/replay stack works
+over any of them.  This package holds the concrete families and the
+registry that maps a **topology spec string** to a right-sized instance:
+
+``family[:key=value,key=value,...]``
+
+Registered families (see :func:`topology_help` for the live list):
+
+* ``fitted``    — the paper's right-sized two-level XGFT
+  (``fitted:leaf=18``), full leaf-spine bisection.
+* ``xgft``      — an explicit XGFT(h; m; w): ``xgft:children=18x14,
+  parents=1x18`` (``x``-separated per-level arities, not right-sized).
+* ``torus``     — k-ary n-torus: ``torus:k=4,n=2,hosts=1`` (``k=0`` /
+  omitted grows the radix to fit ``nranks``).
+* ``dragonfly`` — Dragonfly(a, p, h): ``dragonfly:a=4,p=2,h=2,groups=0``
+  (``groups=0`` grows the group count up to the balanced a*h+1).
+* ``fattree2``  — oversubscribed two-level fat tree:
+  ``fattree2:leaf=18,ratio=3`` (``ratio`` = leaf downlink:uplink taper).
+
+Every ``fit`` builder takes ``(nranks, **params)`` and must return a
+**validated** topology (end the builder with
+:meth:`~repro.network.topology.Topology.finalize`) with at least
+``nranks`` hosts; the registry enforces the capacity and trusts the
+builder contract for structure.  New families register with
+:func:`register_family`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..topology import Topology, XGFTSpec, build_xgft, fitted_topology
+from .dragonfly import DragonflySpec, build_dragonfly, fit_dragonfly
+from .fattree import (
+    OversubscribedFatTreeSpec,
+    build_oversubscribed_fattree,
+    fit_oversubscribed_fattree,
+)
+from .torus import TorusSpec, build_torus, fit_torus
+
+#: the default spec string (the paper's fabric, right-sized per run)
+DEFAULT_TOPOLOGY = "fitted"
+
+
+@dataclass(frozen=True, slots=True)
+class TopologyFamily:
+    """One registered builder: name, parameter syntax, and the fitter."""
+
+    name: str
+    syntax: str
+    description: str
+    fit: Callable[..., Topology]
+
+
+_FAMILIES: dict[str, TopologyFamily] = {}
+
+
+def register_family(
+    name: str, fit: Callable[..., Topology], *, syntax: str, description: str
+) -> None:
+    """Register a topology family under ``name`` (unique)."""
+
+    if name in _FAMILIES:
+        raise ValueError(f"topology family {name!r} already registered")
+    _FAMILIES[name] = TopologyFamily(name, syntax, description, fit)
+
+
+def topology_families() -> tuple[str, ...]:
+    return tuple(sorted(_FAMILIES))
+
+
+def parse_topology(spec: str) -> tuple[str, dict[str, int]]:
+    """Split ``family:key=value,...`` into (family, params).
+
+    Values are integers (the only parameter type the built-in families
+    take) except for ``x``-separated arity lists, which are passed
+    through as strings for the builder to interpret.
+    """
+
+    family, _, rest = spec.strip().partition(":")
+    family = family.strip()
+    if family not in _FAMILIES:
+        raise ValueError(
+            f"unknown topology family {family!r}; known families: "
+            f"{', '.join(topology_families())}"
+        )
+    params: dict[str, int | str] = {}
+    for item in filter(None, (s.strip() for s in rest.split(","))):
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ValueError(
+                f"bad topology parameter {item!r} in {spec!r} "
+                "(expected key=value)"
+            )
+        key, value = key.strip(), value.strip()
+        try:
+            params[key] = int(value)
+        except ValueError:
+            params[key] = value  # e.g. xgft arity lists like 18x14
+    return family, params
+
+
+def build_topology(spec: str, nranks: int) -> Topology:
+    """Build the (validated) topology ``spec`` names, sized for ``nranks``."""
+
+    family, params = parse_topology(spec)
+    try:
+        topo = _FAMILIES[family].fit(nranks, **params)
+    except TypeError as exc:
+        raise ValueError(
+            f"bad parameters for topology family {family!r} "
+            f"(syntax: {_FAMILIES[family].syntax}): {exc}"
+        ) from None
+    if topo.num_hosts < nranks:
+        raise ValueError(
+            f"topology {spec!r} provides {topo.num_hosts} hosts, "
+            f"fewer than the {nranks} ranks it must carry"
+        )
+    topo.family = family
+    # structural validity is the builders' contract: every fitter ends
+    # in Topology.finalize(), which validates — no second O(V+E) pass
+    return topo
+
+
+def topology_help() -> str:
+    """One line per family, for CLI ``--topology`` help text."""
+
+    return "; ".join(
+        f"{f.syntax} ({f.description})"
+        for _, f in sorted(_FAMILIES.items())
+    )
+
+
+def _fit_fitted(nranks: int, leaf: int = 18) -> Topology:
+    topo = fitted_topology(nranks, hosts_per_leaf=leaf)
+    topo.family = "fitted"
+    return topo
+
+
+def _parse_arities(text: str | int) -> tuple[int, ...]:
+    return tuple(int(part) for part in str(text).split("x"))
+
+
+def _fit_xgft(
+    nranks: int, children: str | int = "18x14", parents: str | int = "1x18"
+) -> Topology:
+    return build_xgft(
+        XGFTSpec(_parse_arities(children), _parse_arities(parents))
+    )
+
+
+register_family(
+    "fitted",
+    _fit_fitted,
+    syntax="fitted[:leaf=18]",
+    description="paper XGFT right-sized per run, full bisection",
+)
+register_family(
+    "xgft",
+    _fit_xgft,
+    syntax="xgft[:children=18x14,parents=1x18]",
+    description="explicit XGFT(h; m; w), x-separated per-level arities",
+)
+register_family(
+    "torus",
+    fit_torus,
+    syntax="torus[:k=0,n=2,hosts=1]",
+    description="k-ary n-torus, k=0 grows the radix to fit",
+)
+register_family(
+    "dragonfly",
+    fit_dragonfly,
+    syntax="dragonfly[:a=4,p=2,h=2,groups=0]",
+    description="Dragonfly(a,p,h), groups=0 grows up to a*h+1",
+)
+register_family(
+    "fattree2",
+    fit_oversubscribed_fattree,
+    syntax="fattree2[:leaf=18,ratio=3,spines=0]",
+    description="oversubscribed two-level fat tree, leaf:spine taper",
+)
+
+__all__ = [
+    "DEFAULT_TOPOLOGY",
+    "TopologyFamily",
+    "register_family",
+    "topology_families",
+    "parse_topology",
+    "build_topology",
+    "topology_help",
+    "TorusSpec",
+    "build_torus",
+    "fit_torus",
+    "DragonflySpec",
+    "build_dragonfly",
+    "fit_dragonfly",
+    "OversubscribedFatTreeSpec",
+    "build_oversubscribed_fattree",
+    "fit_oversubscribed_fattree",
+]

@@ -1,0 +1,109 @@
+"""Dragonfly(a, p, h): fully-connected groups of fully-connected routers.
+
+The canonical Kim/Dally parametrisation: each group holds ``a`` routers,
+every router attaches ``p`` compute nodes and ``h`` global channels, the
+routers of a group form a complete local graph, and groups are pairwise
+connected by exactly one global cable (which requires
+``groups <= a*h + 1``; the balanced maximum ``a*h + 1`` is the default).
+
+Global cable assignment is deterministic: group ``g`` exposes one global
+port per peer group, ports numbered by peer index (skipping ``g``
+itself), and port ``q`` lands on router ``q // h`` — so every router ends
+up with at most ``h`` global cables and the wiring is a pure function of
+the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..topology import NodeId, Topology
+
+
+@dataclass(frozen=True, slots=True)
+class DragonflySpec:
+    """Parameters of a dragonfly: a routers/group, p hosts + h global
+    channels per router, ``groups`` groups."""
+
+    a: int
+    p: int
+    h: int
+    groups: int
+
+    def __post_init__(self) -> None:
+        if self.a < 1 or self.p < 1 or self.h < 1:
+            raise ValueError("dragonfly a, p and h must be positive")
+        if self.groups < 2:
+            raise ValueError("dragonfly needs at least 2 groups")
+        if self.groups > self.a * self.h + 1:
+            raise ValueError(
+                f"{self.groups} groups need more than the a*h={self.a * self.h} "
+                "global ports per group (max groups = a*h + 1)"
+            )
+
+    @property
+    def num_switches(self) -> int:
+        return self.a * self.groups
+
+    @property
+    def num_hosts(self) -> int:
+        return self.p * self.num_switches
+
+
+def build_dragonfly(spec: DragonflySpec) -> Topology:
+    """Materialise the dragonfly described by ``spec``."""
+
+    topo = Topology(spec=spec, family="dragonfly")
+    a, groups = spec.a, spec.groups
+    topo.switches = [NodeId(1, i) for i in range(spec.num_switches)]
+    topo.hosts = [NodeId(0, i) for i in range(spec.num_hosts)]
+    for node in topo.hosts + topo.switches:
+        topo.adjacency[node] = []
+
+    def router(g: int, r: int) -> NodeId:
+        return topo.switches[g * a + r]
+
+    # local channels: complete graph within each group
+    for g in range(groups):
+        for r1 in range(a):
+            for r2 in range(r1 + 1, a):
+                topo.connect(router(g, r1), router(g, r2))
+
+    # global channels: one cable per group pair; group g's port for peer
+    # g' is q = g' (g' < g) or g' - 1 (g' > g), landing on router q // h
+    for g1 in range(groups):
+        for g2 in range(g1 + 1, groups):
+            r1 = (g2 - 1) // spec.h
+            r2 = g1 // spec.h
+            topo.connect(router(g1, r1), router(g2, r2))
+
+    for i, host in enumerate(topo.hosts):
+        topo.connect(host, topo.switches[i // spec.p])
+
+    return topo.finalize()
+
+
+def fit_dragonfly(
+    nranks: int, a: int = 4, p: int = 2, h: int = 2, groups: int = 0
+) -> Topology:
+    """Smallest dragonfly of the given router shape covering ``nranks``.
+
+    With ``groups=0`` (the default) the group count grows up to the
+    balanced maximum ``a*h + 1``; past that, hosts-per-router ``p`` is
+    scaled up instead so the shape always fits.
+    """
+
+    if nranks <= 0:
+        raise ValueError("nranks must be positive")
+    if groups:
+        spec = DragonflySpec(a, p, h, groups)
+        if spec.num_hosts < nranks:
+            # an explicit group count keeps the wiring; grow p to fit
+            spec = DragonflySpec(a, -(-nranks // (a * groups)), h, groups)
+        return build_dragonfly(spec)
+    max_groups = a * h + 1
+    fitted = min(max_groups, max(2, -(-nranks // (a * p))))
+    if a * p * fitted < nranks:
+        p = -(-nranks // (a * max_groups))
+        fitted = max_groups
+    return build_dragonfly(DragonflySpec(a, p, h, fitted))

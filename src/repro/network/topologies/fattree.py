@@ -1,0 +1,94 @@
+"""Oversubscribed two-level fat tree (leaf/spine with a taper ratio).
+
+The paper's XGFT(2; m, l; 1, m) is fully bisectional: every leaf has one
+uplink per attached host.  Real pods are usually tapered — this family
+parameterises the leaf:spine oversubscription ratio directly: each leaf
+switch attaches ``hosts_per_leaf`` hosts but only ``num_spines`` uplinks
+(one to every spine), so the downlink:uplink ratio is
+``hosts_per_leaf / num_spines``.
+
+The graph carries its own spec (not an :class:`~repro.network.topology.
+XGFTSpec`), so routing goes through the generic candidate-shortest-path
+enumeration — for a two-level tree that set is exactly the
+``num_spines`` up*/down* paths (or the single intra-leaf path), in spine
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..topology import NodeId, Topology
+
+
+@dataclass(frozen=True, slots=True)
+class OversubscribedFatTreeSpec:
+    """Two-level leaf/spine Clos with an explicit taper."""
+
+    hosts_per_leaf: int
+    num_leaves: int
+    num_spines: int
+
+    def __post_init__(self) -> None:
+        if self.hosts_per_leaf < 1 or self.num_spines < 1:
+            raise ValueError("hosts_per_leaf and num_spines must be positive")
+        if self.num_leaves < 2:
+            raise ValueError(
+                "a two-level fat tree needs at least 2 leaf switches"
+            )
+
+    @property
+    def oversubscription(self) -> float:
+        """Downlink:uplink taper of each leaf (1.0 = full bisection)."""
+
+        return self.hosts_per_leaf / self.num_spines
+
+    @property
+    def num_switches(self) -> int:
+        return self.num_leaves + self.num_spines
+
+    @property
+    def num_hosts(self) -> int:
+        return self.hosts_per_leaf * self.num_leaves
+
+
+def build_oversubscribed_fattree(spec: OversubscribedFatTreeSpec) -> Topology:
+    """Materialise the leaf/spine graph described by ``spec``."""
+
+    topo = Topology(spec=spec, family="fattree2")
+    leaves = [NodeId(1, i) for i in range(spec.num_leaves)]
+    spines = [NodeId(2, i) for i in range(spec.num_spines)]
+    topo.switches = leaves + spines
+    topo.hosts = [NodeId(0, i) for i in range(spec.num_hosts)]
+    for node in topo.hosts + topo.switches:
+        topo.adjacency[node] = []
+
+    for i, host in enumerate(topo.hosts):
+        topo.connect(host, leaves[i // spec.hosts_per_leaf])
+    for leaf in leaves:
+        for spine in spines:
+            topo.connect(leaf, spine)
+
+    return topo.finalize()
+
+
+def fit_oversubscribed_fattree(
+    nranks: int, leaf: int = 18, ratio: int = 3, spines: int = 0
+) -> Topology:
+    """Smallest tapered leaf/spine tree covering ``nranks`` hosts.
+
+    ``leaf`` is the hosts-per-leaf arity and ``ratio`` the target
+    oversubscription (spine count ``ceil(leaf / ratio)`` unless given
+    explicitly via ``spines``).
+    """
+
+    if nranks <= 0:
+        raise ValueError("nranks must be positive")
+    if leaf < 1 or ratio < 1:
+        raise ValueError("leaf and ratio must be positive")
+    hosts_per_leaf = min(leaf, max(1, nranks))
+    num_leaves = max(2, -(-nranks // hosts_per_leaf))
+    num_spines = spines or max(1, -(-hosts_per_leaf // ratio))
+    return build_oversubscribed_fattree(
+        OversubscribedFatTreeSpec(hosts_per_leaf, num_leaves, num_spines)
+    )

@@ -1,0 +1,107 @@
+"""k-ary n-torus (n-dimensional torus with wraparound links).
+
+Switches sit on the integer lattice ``{0..k-1}^n`` with one bidirectional
+cable to each of the two neighbours per dimension (wraparound included);
+``hosts_per_switch`` compute nodes attach to every switch.  Tori have no
+up/down structure, so routing uses the generic minimal-path enumeration
+of :meth:`repro.network.topology.Topology.candidate_paths` — all shortest
+lattice walks between two switches, in deterministic order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..topology import NodeId, Topology
+
+
+@dataclass(frozen=True, slots=True)
+class TorusSpec:
+    """Parameters of a k-ary n-torus with ``hosts_per_switch`` nodes."""
+
+    k: int
+    n: int
+    hosts_per_switch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 2:
+            raise ValueError("torus radix k must be at least 2")
+        if self.n < 1:
+            raise ValueError("torus dimension n must be at least 1")
+        if self.hosts_per_switch < 1:
+            raise ValueError("hosts_per_switch must be positive")
+
+    @property
+    def num_switches(self) -> int:
+        return self.k ** self.n
+
+    @property
+    def num_hosts(self) -> int:
+        return self.num_switches * self.hosts_per_switch
+
+
+def _coords(flat: int, k: int, n: int) -> tuple[int, ...]:
+    out = []
+    for _ in range(n):
+        out.append(flat % k)
+        flat //= k
+    return tuple(out)
+
+
+def _flat(coords: tuple[int, ...], k: int) -> int:
+    flat = 0
+    for c in reversed(coords):
+        flat = flat * k + c
+    return flat
+
+
+def build_torus(spec: TorusSpec) -> Topology:
+    """Materialise the torus described by ``spec``."""
+
+    topo = Topology(spec=spec, family="torus")
+    k, n = spec.k, spec.n
+    topo.switches = [NodeId(1, i) for i in range(spec.num_switches)]
+    topo.hosts = [NodeId(0, i) for i in range(spec.num_hosts)]
+    for node in topo.hosts + topo.switches:
+        topo.adjacency[node] = []
+
+    seen: set[tuple[NodeId, NodeId]] = set()
+    for flat in range(spec.num_switches):
+        coords = _coords(flat, k, n)
+        for dim in range(n):
+            stepped = list(coords)
+            stepped[dim] = (stepped[dim] + 1) % k
+            other = _flat(tuple(stepped), k)
+            a, b = NodeId(1, flat), NodeId(1, other)
+            key = (a, b) if a <= b else (b, a)
+            # k == 2 wraps +1 and -1 onto the same neighbour: one cable
+            if key not in seen:
+                seen.add(key)
+                topo.connect(a, b)
+
+    for i, host in enumerate(topo.hosts):
+        topo.connect(host, topo.switches[i // spec.hosts_per_switch])
+
+    return topo.finalize()
+
+
+def fit_torus(nranks: int, k: int = 0, n: int = 2, hosts: int = 1) -> Topology:
+    """Smallest k-ary n-torus accommodating ``nranks`` hosts.
+
+    With ``k`` given the torus is built exactly as specified; with
+    ``k=0`` (the default) the radix grows until ``k^n * hosts`` covers
+    ``nranks``.
+    """
+
+    if nranks <= 0:
+        raise ValueError("nranks must be positive")
+    if k:
+        return build_torus(TorusSpec(k, n, hosts))
+    if n < 1 or hosts < 1:
+        # reject before the growth loop: k^n * hosts could never reach
+        # nranks and the search would spin forever
+        raise ValueError("torus n and hosts must be positive")
+    radix = 2
+    while radix ** n * hosts < nranks:
+        radix += 1
+    return build_torus(TorusSpec(radix, n, hosts))

@@ -1,4 +1,12 @@
-"""Extended Generalized Fat Tree (XGFT) topology construction.
+"""Topology graphs: the generic vertex/edge substrate + XGFT construction.
+
+:class:`Topology` is the family-agnostic representation every fabric is
+built on: hosts, switches, an adjacency map, and a deterministic
+candidate-shortest-path enumeration (:meth:`Topology.candidate_paths`)
+that the routing layer uses for families without a closed-form routing
+rule.  Concrete families are materialised by builders — :func:`build_xgft`
+below for fat trees, and the :mod:`repro.network.topologies` package for
+the pluggable registry (torus, dragonfly, oversubscribed fat tree, ...).
 
 The paper's Table II evaluates on ``XGFT(2; 18, 14; 1, 18)``: a two-level
 fat tree whose leaf switches each attach 18 compute nodes, with 14 leaf
@@ -112,19 +120,52 @@ class XGFTSpec:
         return cls((hosts_per_leaf, num_leaves), (1, num_spines))
 
 
+#: cap on the deterministic shortest-path enumeration per host pair —
+#: generous for the fabrics we simulate (a 2-level fat tree has at most
+#: ``num_spines`` minimal paths; a torus' multinomial path counts are
+#: truncated in lexicographic order past this)
+MAX_CANDIDATE_PATHS = 64
+
+
 @dataclass(slots=True)
 class Topology:
-    """An explicit vertex/edge representation of an XGFT.
+    """An explicit vertex/edge representation of a network topology.
 
     Edges are stored as an adjacency map ``node -> sorted list of
     neighbours``; every physical cable appears exactly once in ``edges``.
+    ``spec`` is the family's parameter object; every spec exposes
+    ``num_hosts`` / ``num_switches`` so :meth:`validate` is generic.
+    ``family`` names the builder that produced the graph (reporting and
+    the bench's topology dimension).
     """
 
-    spec: XGFTSpec
+    spec: object
     hosts: list[NodeId] = field(default_factory=list)
     switches: list[NodeId] = field(default_factory=list)
     adjacency: dict[NodeId, list[NodeId]] = field(default_factory=dict)
     edges: list[tuple[NodeId, NodeId]] = field(default_factory=list)
+    family: str = "xgft"
+    #: per-destination BFS distance maps and per-pair candidate path
+    #: sets, both pure functions of the graph (safe to cache for the
+    #: topology's whole lifetime)
+    _dist_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    _path_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def connect(self, a: NodeId, b: NodeId) -> None:
+        """Add one physical cable (both adjacency directions + edge)."""
+
+        self.adjacency[a].append(b)
+        self.adjacency[b].append(a)
+        self.edges.append((a, b))
+
+    def finalize(self) -> "Topology":
+        """Sort adjacency (the candidate-path determinism contract
+        depends on it) and validate; builders end with this."""
+
+        for node in self.adjacency:
+            self.adjacency[node].sort()
+        self.validate()
+        return self
 
     def neighbors(self, node: NodeId) -> list[NodeId]:
         return self.adjacency[node]
@@ -143,8 +184,15 @@ class Topology:
         return self.hosts[index]
 
     def validate(self) -> None:
-        """Structural sanity checks (used by tests and on construction)."""
+        """Structural sanity checks (used by tests and on construction).
 
+        Rejects degenerate graphs outright: spec/graph count mismatches,
+        hosts without exactly one uplink (the fabric's ``host_link``
+        contract), duplicate cables, and disconnected fabrics.
+        """
+
+        if not self.hosts:
+            raise AssertionError("topology has no hosts")
         if len(self.hosts) != self.spec.num_hosts:
             raise AssertionError("host count mismatch")
         if len(self.switches) != self.spec.num_switches:
@@ -159,6 +207,87 @@ class Topology:
             if key in seen:
                 raise AssertionError(f"duplicate edge {a}-{b}")
             seen.add(key)
+        if len(self.hosts) > 1:
+            reached = self._distances_to(self.hosts[0])
+            total = len(self.hosts) + len(self.switches)
+            if len(reached) != total:
+                raise AssertionError(
+                    f"topology is disconnected: {len(reached)} of {total} "
+                    "nodes reachable from host 0"
+                )
+
+    # -- generic routing substrate ------------------------------------------
+
+    def _distances_to(self, target: NodeId) -> dict[NodeId, int]:
+        """Hop distances of every reachable node to ``target`` (BFS)."""
+
+        cached = self._dist_cache.get(target)
+        if cached is not None:
+            return cached
+        dist = {target: 0}
+        frontier = [target]
+        while frontier:
+            nxt: list[NodeId] = []
+            for node in frontier:
+                d = dist[node] + 1
+                for nb in self.adjacency[node]:
+                    if nb not in dist:
+                        dist[nb] = d
+                        nxt.append(nb)
+            frontier = nxt
+        self._dist_cache[target] = dist
+        return dist
+
+    def candidate_paths(
+        self, src_host: int, dst_host: int, max_paths: int = MAX_CANDIDATE_PATHS
+    ) -> tuple[tuple[NodeId, ...], ...]:
+        """All minimal host-to-host vertex paths, deterministically ordered.
+
+        The enumeration walks the shortest-path DAG with neighbours in
+        sorted order, so the candidate set (and its order) is a pure
+        function of the graph — never of compile order, replay history
+        or process — which is what lets the route table draw a seeded
+        choice per ``(seed, src, dst)`` over any topology family.  At
+        most ``max_paths`` paths are returned (lexicographically first).
+        """
+
+        key = (src_host, dst_host, max_paths)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        src, dst = self.host(src_host), self.host(dst_host)
+        if src == dst:
+            paths: tuple[tuple[NodeId, ...], ...] = ((src,),)
+        else:
+            dist = self._distances_to(dst)
+            if src not in dist:
+                raise ValueError(
+                    f"hosts {src_host} and {dst_host} are disconnected"
+                )
+            # cached per (pair, max_paths): a truncated enumeration must
+            # never be served to a caller asking for a larger cap
+            found: list[tuple[NodeId, ...]] = []
+            stack: list[NodeId] = [src]
+
+            def extend(node: NodeId) -> None:
+                if len(found) >= max_paths:
+                    return
+                if node == dst:
+                    found.append(tuple(stack))
+                    return
+                want = dist[node] - 1
+                for nb in self.adjacency[node]:
+                    if dist.get(nb) == want:
+                        stack.append(nb)
+                        extend(nb)
+                        stack.pop()
+                        if len(found) >= max_paths:
+                            return
+
+            extend(src)
+            paths = tuple(found)
+        self._path_cache[key] = paths
+        return paths
 
 
 def build_xgft(spec: XGFTSpec) -> Topology:
@@ -176,11 +305,6 @@ def build_xgft(spec: XGFTSpec) -> Topology:
 
     for node in itertools.chain(topo.hosts, topo.switches):
         topo.adjacency[node] = []
-
-    def connect(a: NodeId, b: NodeId) -> None:
-        topo.adjacency[a].append(b)
-        topo.adjacency[b].append(a)
-        topo.edges.append((a, b))
 
     # Recursive XGFT wiring.  At each level l (1-based) the tree of height
     # ``l`` is partitioned into prod(m_{l+1}..m_h) identical sub-trees.
@@ -225,12 +349,9 @@ def build_xgft(spec: XGFTSpec) -> Topology:
                 # when level>1 and block==1 when level==1).
                 for j, v in enumerate(child_top):
                     for k in range(w_l):
-                        connect(v, tree_tops[j + k * len(child_top)])
+                        topo.connect(v, tree_tops[j + k * len(child_top)])
 
-    for node in topo.adjacency:
-        topo.adjacency[node].sort()
-    topo.validate()
-    return topo
+    return topo.finalize()
 
 
 def paper_topology() -> Topology:
@@ -245,17 +366,23 @@ def fitted_topology(nranks: int, hosts_per_leaf: int = 18) -> Topology:
     The paper allocates one MPI process per node; simulating the full
     252-host fabric for an 8-rank run wastes memory, so experiments use a
     rightsized instance with the same hosts-per-leaf arity and full
-    leaf-spine bisection (one uplink from each leaf to every spine).
+    leaf-spine bisection (one uplink from each leaf to every spine, with
+    as many spines as there are hosts per leaf — never silently capped).
+    The result is always a genuine two-level network: at least two leaf
+    switches, even for a single-rank run.
     """
 
     if nranks <= 0:
         raise ValueError("nranks must be positive")
+    if hosts_per_leaf <= 0:
+        raise ValueError("hosts_per_leaf must be positive")
     hosts_per_leaf = min(hosts_per_leaf, nranks)
     num_leaves = -(-nranks // hosts_per_leaf)  # ceil
     if num_leaves == 1:
         # keep a genuine two-level network: split across two leaves
-        num_leaves = 2 if nranks > 1 else 1
-        hosts_per_leaf = -(-nranks // num_leaves)
-    num_spines = max(1, min(18, hosts_per_leaf))
+        num_leaves = 2
+        hosts_per_leaf = max(1, -(-nranks // num_leaves))
+    # full bisection as promised: one spine per host-per-leaf port
+    num_spines = hosts_per_leaf
     spec = XGFTSpec.two_level(hosts_per_leaf, num_leaves, num_spines)
     return build_xgft(spec)

@@ -9,22 +9,30 @@ stage (tolerant enough to absorb machine-to-machine noise, tight enough
 to catch an accidental return to per-candidate or per-displacement
 passes).
 
-Schema 3 mirrors the ``run_cell`` replay structure (one shared fabric
+Schema 4 mirrors the ``run_cell`` replay structure (one shared fabric
 and one compiled program set, reset/reused between replays) and times
 the replay pipeline of the compiled-program fast kernel: a
 ``program_compile_s`` stage for the trace -> opcode lowering, the
 default-path ``baseline_replay_s``/``managed_replay_s`` (compiled
 programs on the calendar-queue scheduler), and a
 ``baseline_replay_heap_s`` stage that re-runs the baseline on the heapq
-reference scheduler so the smoke gate covers *both* schedulers.  A
+reference scheduler so the smoke gate covers *both* schedulers.  The
+config carries a **topology dimension** (``--topology``, any family
+spec from :mod:`repro.network.topologies`); timings recorded on one
+family never gate against a reference recorded on another.  A
 ``replay_detail`` section records the fast-kernel instrumentation:
 fabric build time, static-route pairs compiled and their compile time,
 the collective schedule-cache hit/miss counters and the compiled
-instruction count.  ``replay_detail`` is informational — only
-``stages`` is gated.  ``profile_path`` (``repro.cli bench --profile``)
-additionally captures the two default-path replay stages under
-:mod:`cProfile` and dumps the stats for offline ``pstats``/``snakeviz``
-digging.
+instruction count.  Every ``replay_detail`` counter is **per-run**, not
+process-cumulative: the bench starts from a cleared schedule cache
+(which also zeroes the hit/miss counters); for reporting against a
+warm cache that must not be cleared,
+``schedule_cache_stats(since=...)`` returns the equivalent
+non-destructive delta.  ``replay_detail`` is informational — only
+``stages`` is gated.  ``profile_path``
+(``repro.cli bench --profile``) additionally captures the two
+default-path replay stages under :mod:`cProfile` and dumps the stats
+for offline ``pstats``/``snakeviz`` digging.
 """
 
 from __future__ import annotations
@@ -40,7 +48,7 @@ from .constants import DISPLACEMENT_FACTORS
 MAX_SLOWDOWN = 3.0
 
 #: benchmark schema version (bump when stages change incomparably)
-SCHEMA = 3
+SCHEMA = 4
 
 
 def _repo_root() -> pathlib.Path:
@@ -53,12 +61,32 @@ def _repo_root() -> pathlib.Path:
     return pathlib.Path.cwd()
 
 
-def reference_path() -> pathlib.Path:
-    return _repo_root() / "benchmarks" / "BENCH_pipeline.json"
+def _topology_slug(topology: str) -> str:
+    """Filesystem-safe tag for a topology spec string."""
+
+    return "".join(c if c.isalnum() else "-" for c in topology).strip("-")
 
 
-def output_path() -> pathlib.Path:
-    return _repo_root() / "benchmarks" / "out" / "BENCH_pipeline.json"
+def reference_path(topology: str = "fitted") -> pathlib.Path:
+    """The smoke-gate reference for ``topology`` — one file per family
+    spec, so recording a torus reference never clobbers (or cross-gates
+    against) the default fitted one."""
+
+    name = (
+        "BENCH_pipeline.json"
+        if topology == "fitted"
+        else f"BENCH_pipeline.{_topology_slug(topology)}.json"
+    )
+    return _repo_root() / "benchmarks" / name
+
+
+def output_path(topology: str = "fitted") -> pathlib.Path:
+    name = (
+        "BENCH_pipeline.json"
+        if topology == "fitted"
+        else f"BENCH_pipeline.{_topology_slug(topology)}.json"
+    )
+    return _repo_root() / "benchmarks" / "out" / name
 
 
 class _ReplayProfiler:
@@ -104,12 +132,15 @@ def run_pipeline_benchmark(
     seed: int = 1234,
     displacements: Sequence[float] = DISPLACEMENT_FACTORS,
     profile_path: pathlib.Path | str | None = None,
+    topology: str = "fitted",
 ) -> dict:
     """Time each pipeline stage once; returns the JSON-ready record.
 
     ``profile_path`` additionally runs the two replay stages under
     cProfile, dumps the stats there, and attaches the top functions to
-    the returned record (``profile_top``).
+    the returned record (``profile_top``).  ``topology`` selects the
+    fabric family (a spec string); it is part of the comparison key, so
+    per-family references never cross-gate.
     """
 
     from .concurrency import resolve_workers
@@ -129,9 +160,14 @@ def run_pipeline_benchmark(
 
     iters = iterations if iterations is not None else default_iterations()
     params = WRPSParams.paper()
-    replay_cfg = ReplayConfig(seed=seed)
-    heap_cfg = ReplayConfig(seed=seed, scheduler="heap")
+    replay_cfg = ReplayConfig(seed=seed, topology=topology)
+    heap_cfg = ReplayConfig(seed=seed, scheduler="heap", topology=topology)
     stages: dict[str, float] = {}
+    # cold schedule cache: stage timings stay reproducible whatever ran
+    # in this process before, and it also zeroes the process-cumulative
+    # hit/miss counters, so the replay_detail below is per-run by
+    # construction (a reporter that must not clear a shared warm cache
+    # would use ``schedule_cache_stats(since=...)`` instead)
     clear_schedule_cache()
     profiler = _ReplayProfiler(profile_path is not None)
 
@@ -213,6 +249,7 @@ def run_pipeline_benchmark(
             "workers": resolve_workers(None),
             "kernel": replay_cfg.kernel,
             "scheduler": replay_cfg.scheduler,
+            "topology": topology,
             "selected_gt_us": selection.best.gt_us,
             "hit_rate_pct": selection.best.hit_rate_pct,
         },
@@ -288,7 +325,8 @@ def format_benchmark(result: Mapping) -> str:
     cfg = result["config"]
     lines = [
         f"pipeline benchmark: {cfg['app']} @ {cfg['nranks']} ranks, "
-        f"{cfg['iterations']} iterations (seed {cfg['seed']})",
+        f"{cfg['iterations']} iterations (seed {cfg['seed']}, "
+        f"topology {cfg.get('topology', 'fitted')})",
         f"  selected GT {cfg['selected_gt_us']:.0f} us, "
         f"hit rate {cfg['hit_rate_pct']:.1f}%",
     ]

@@ -79,3 +79,80 @@ def fleet_switch_savings_pct(
     m = model or SwitchPowerModel()
     link_sav = [100.0 * a.savings_fraction() for a in accounts]
     return m.switch_savings_pct(sum(link_sav) / len(link_sav))
+
+
+@dataclass(frozen=True, slots=True)
+class SwitchSavings:
+    """Whole-switch savings of one switch, radix-aware.
+
+    ``link_savings_pct`` is the mean over the switch's *managed* ports
+    only; ``switch_savings_pct`` dilutes it over the full radix (the
+    unmanaged ports — trunk cables and unmanaged hosts — stay at full
+    power) before applying the link share of switch power, which is
+    what makes rollups comparable between a 36-port fat-tree leaf and a
+    p+a-1+h-port dragonfly router.
+    """
+
+    switch: str
+    radix: int
+    managed_links: int
+    link_savings_pct: float
+    switch_savings_pct: float
+
+
+def fabric_switch_rollup(
+    fabric,
+    accounts: Sequence[LinkEnergyAccount],
+    model: SwitchPowerModel | None = None,
+) -> tuple[SwitchSavings, ...]:
+    """Per-switch savings rollup over a replay's managed HCA accounts.
+
+    ``accounts[rank]`` must be rank ``rank``'s HCA-link energy account
+    (the :class:`~repro.sim.results.ManagedResult` convention).  Each
+    account is attributed to the switch its host link lands on; every
+    fabric switch gets a row — a switch carrying no managed link (a fat
+    tree's spines, a dragonfly's host-free routers) contributes zero
+    savings at its full radix, so the fleet rollup stays comparable
+    *across* families instead of silently dropping the all-on part of
+    one family's fabric.  Heterogeneous radixes are exactly why the
+    dilution is per switch.
+    """
+
+    m = model or SwitchPowerModel()
+    per_switch: dict = {node: [] for node in fabric.switches}
+    for rank, account in enumerate(accounts):
+        link = fabric.host_link(rank)
+        switch_node = next(e for e in link.endpoints if not e.is_host)
+        per_switch[switch_node].append(100.0 * account.savings_fraction())
+    rows = []
+    for node in sorted(per_switch):
+        savings = per_switch[node]
+        radix = fabric.switches[node].radix
+        rows.append(
+            SwitchSavings(
+                switch=str(node),
+                radix=radix,
+                managed_links=len(savings),
+                link_savings_pct=(
+                    sum(savings) / len(savings) if savings else 0.0
+                ),
+                switch_savings_pct=(
+                    m.switch_savings_pct(sum(savings) / radix)
+                    if savings else 0.0
+                ),
+            )
+        )
+    return tuple(rows)
+
+
+def rollup_fleet_savings_pct(rows: Sequence[SwitchSavings]) -> float:
+    """Radix-weighted fleet mean over a :func:`fabric_switch_rollup`.
+
+    Weighting by radix makes big switches count proportionally to the
+    power they draw, so mixed-radix fabrics aggregate correctly.
+    """
+
+    total_ports = sum(r.radix for r in rows)
+    if total_ports == 0:
+        return 0.0
+    return sum(r.switch_savings_pct * r.radix for r in rows) / total_ports

@@ -318,10 +318,25 @@ _SCHEDULE_CACHE: dict[tuple, tuple[Step, ...]] = {}
 _CACHE_STATS = {"hits": 0, "misses": 0}
 
 
-def schedule_cache_stats() -> dict[str, int]:
-    """Snapshot of the schedule-cache hit/miss counters."""
+def schedule_cache_stats(
+    since: dict[str, int] | None = None
+) -> dict[str, int]:
+    """Snapshot of the schedule-cache hit/miss counters.
 
-    return dict(_CACHE_STATS)
+    The module-level counters are *process-cumulative*: a worker process
+    that replays several cells keeps counting across them.  A caller
+    that reports per-run numbers must therefore either start from
+    :func:`clear_schedule_cache` (what the bench does — destructive: the
+    memoised schedules go too) or take a snapshot before the run and
+    pass it as ``since`` afterwards — the returned dict is then the
+    delta attributable to the run alone, not to the process's whole
+    history.
+    """
+
+    stats = dict(_CACHE_STATS)
+    if since is not None:
+        return {key: stats[key] - since.get(key, 0) for key in stats}
+    return stats
 
 
 def clear_schedule_cache() -> None:

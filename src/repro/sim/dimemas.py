@@ -23,8 +23,10 @@ from typing import Callable, Sequence
 from ..constants import EAGER_THRESHOLD_BYTES
 from ..network.fabric import Fabric
 from ..network.links import Link, LinkPowerMode
+from ..network.topologies import DEFAULT_TOPOLOGY, parse_topology
 from ..power.controller import ManagedLink
 from ..power.model import aggregate
+from ..power.switchpower import fabric_switch_rollup
 from ..power.states import WRPSParams
 from ..trace.trace import Trace
 from .engine import SCHEDULERS, Engine
@@ -51,6 +53,12 @@ class ReplayConfig:
     combination is bit-for-bit identical; the reference axes exist as
     the equivalence oracles for the differential test harness
     (``tests/sim/test_differential_kernels.py``).
+
+    ``topology`` is a topology spec string (``"fitted"``,
+    ``"torus:k=4,n=2"``, ``"dragonfly:a=4,p=2,h=2"``,
+    ``"fattree2:leaf=18,ratio=3"``, ... — see
+    :mod:`repro.network.topologies`); the default keeps the paper's
+    right-sized two-level XGFT, for which ``hosts_per_leaf`` applies.
     """
 
     seed: int = 0
@@ -60,6 +68,7 @@ class ReplayConfig:
     cpu_speedup: float = 1.0
     kernel: str = "fast"
     scheduler: str = "calendar"
+    topology: str = DEFAULT_TOPOLOGY
 
     def __post_init__(self) -> None:
         if self.kernel not in KERNELS:
@@ -71,6 +80,9 @@ class ReplayConfig:
                 f"unknown scheduler {self.scheduler!r}; "
                 f"pick one of {SCHEDULERS}"
             )
+        # fail fast on a typo'd family/parameter string; the topology
+        # itself is built lazily per fabric
+        parse_topology(self.topology)
 
 
 def fabric_for(nranks: int, config: ReplayConfig | None = None) -> Fabric:
@@ -88,10 +100,13 @@ def fabric_for(nranks: int, config: ReplayConfig | None = None) -> Fabric:
         seed=cfg.seed,
         hosts_per_leaf=cfg.hosts_per_leaf,
         random_routing=cfg.random_routing,
+        topology=None if cfg.topology == DEFAULT_TOPOLOGY else cfg.topology,
     )
     # remember the build parameters so a later replay with a different
     # config cannot silently run on the wrong topology/routes
-    fabric.build_signature = (cfg.seed, cfg.hosts_per_leaf, cfg.random_routing)
+    fabric.build_signature = (
+        cfg.seed, cfg.hosts_per_leaf, cfg.random_routing, cfg.topology
+    )
     return fabric
 
 
@@ -131,7 +146,10 @@ def _build_world(
     if fabric is None:
         fabric = fabric_for(trace.nranks, config)
     else:
-        expected = (config.seed, config.hosts_per_leaf, config.random_routing)
+        expected = (
+            config.seed, config.hosts_per_leaf, config.random_routing,
+            config.topology,
+        )
         signature = getattr(fabric, "build_signature", None)
         if signature is not None and signature != expected:
             raise ValueError(
@@ -285,6 +303,7 @@ def replay_managed(
     for ml in rank_links:
         ml.finish(exec_time)
     report = aggregate([ml.account for ml in rank_links], exec_time)
+    accounts = [ml.account for ml in rank_links]
 
     return ManagedResult(
         trace_name=trace.name,
@@ -297,5 +316,7 @@ def replay_managed(
         displacement=displacement,
         grouping_thresholds_us=list(grouping_thresholds_us),
         runtime_stats=list(runtime_stats) if runtime_stats is not None else [],
-        accounts=[ml.account for ml in rank_links],
+        accounts=accounts,
+        topology=cfg.topology,
+        switch_savings=fabric_switch_rollup(fabric, accounts),
     )

@@ -60,6 +60,20 @@ class ManagedResult:
     #: per-rank HCA-link energy accounts (power-state timelines), for
     #: Paraver-style visualisation and fine-grained analysis
     accounts: list = field(default_factory=list)
+    #: the fabric's topology spec string (``ReplayConfig.topology``)
+    topology: str = "fitted"
+    #: per-switch whole-switch savings rollup
+    #: (:func:`repro.power.switchpower.fabric_switch_rollup`) — radix
+    #: aware, so heterogeneous families aggregate correctly
+    switch_savings: tuple = ()
+
+    @property
+    def fleet_switch_savings_pct(self) -> float:
+        """Radix-weighted whole-switch savings over the fabric."""
+
+        from ..power.switchpower import rollup_fleet_savings_pct
+
+        return rollup_fleet_savings_pct(self.switch_savings)
 
     @property
     def exec_time_increase_pct(self) -> float:

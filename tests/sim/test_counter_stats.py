@@ -1,0 +1,96 @@
+"""Per-replay counter hygiene: bench detail must be per-run, not
+process-cumulative.
+
+Module-level counters (the collective schedule-cache hit/miss stats)
+keep counting across every replay a process runs — a worker process
+serving several cells accumulates all of them.  Anything that *reports*
+such a counter must therefore report a delta over the run, never the
+raw process total.  Per-instance counters (``RouteTable.pairs_compiled``
+/ ``compile_seconds``, ``Fabric.messages_sent``) are audited here too:
+they reset with their owning object, so a fresh fabric per run is
+per-run by construction.
+"""
+
+from repro import perf
+from repro.sim import ReplayConfig, fabric_for, replay_baseline
+from repro.sim.collectives import clear_schedule_cache, schedule_cache_stats
+from repro.workloads import make_trace
+
+
+def _replay_once(seed=3):
+    trace = make_trace("alya", 8, iterations=3, seed=seed)
+    cfg = ReplayConfig(seed=seed)
+    fabric = fabric_for(8, cfg)
+    replay_baseline(trace, cfg, fabric=fabric)
+    return fabric
+
+
+class TestScheduleCacheStats:
+    def test_counters_are_process_cumulative(self):
+        clear_schedule_cache()
+        _replay_once()
+        first = schedule_cache_stats()
+        _replay_once()
+        second = schedule_cache_stats()
+        # the raw counters accumulate across replays — this is the
+        # leakage the delta API exists to mask
+        assert second["hits"] > first["hits"]
+
+    def test_since_returns_per_run_delta(self):
+        clear_schedule_cache()
+        _replay_once()
+        before = schedule_cache_stats()
+        _replay_once()
+        delta = schedule_cache_stats(since=before)
+        # the second run's collectives hit the warm cache: all hits, no
+        # misses, and exactly as many lookups as one run performs
+        assert delta["misses"] == 0
+        assert delta["hits"] == before["hits"] + before["misses"]
+
+    def test_route_counters_reset_with_their_fabric(self):
+        fabric_a = _replay_once()
+        fabric_b = _replay_once()
+        assert fabric_a.routes.pairs_compiled == fabric_b.routes.pairs_compiled
+        assert fabric_b.routes.pairs_compiled > 0
+
+
+class TestBenchDetailPerRun:
+    def test_replay_detail_identical_across_back_to_back_runs(self):
+        """A worker process running the bench after other cells (or
+        twice) must report identical per-run replay detail."""
+
+        # dirty the process first, as a cell-worker's history would
+        _replay_once(seed=17)
+        kwargs = dict(app="alya", nranks=8, iterations=2)
+        first = perf.run_pipeline_benchmark(**kwargs)
+        _replay_once(seed=23)
+        second = perf.run_pipeline_benchmark(**kwargs)
+
+        def counters(result):
+            # drop wall-clock fields; only the counters must be per-run
+            return {
+                k: v for k, v in result["replay_detail"].items()
+                if not k.endswith("_s")
+            }
+
+        assert counters(first) == counters(second)
+        assert first["replay_detail"]["collective_schedule_misses"] > 0
+
+    def test_bench_records_topology_dimension(self):
+        result = perf.run_pipeline_benchmark(
+            app="alya", nranks=8, iterations=2, topology="torus:n=2"
+        )
+        assert result["schema"] == perf.SCHEMA
+        assert result["config"]["topology"] == "torus:n=2"
+
+    def test_reference_path_is_per_family(self):
+        """Smoke references are one file per topology spec: recording a
+        torus reference must never clobber or cross-gate the default."""
+
+        default = perf.reference_path()
+        torus = perf.reference_path("torus:k=4,n=2")
+        assert default.name == "BENCH_pipeline.json"
+        assert torus != default
+        assert torus.parent == default.parent
+        assert perf.reference_path("torus:k=4,n=2") == torus
+        assert perf.output_path("torus:k=4,n=2").name == torus.name

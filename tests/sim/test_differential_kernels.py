@@ -187,6 +187,66 @@ class TestManagedMatrix:
                 _assert_equal(got, want, (kernel, scheduler))
 
 
+#: one small instance per non-XGFT topology family (plus the explicit
+#: oversubscribed tree): the whole (kernel, scheduler) matrix must stay
+#: bit-for-bit on every family, not just the paper fat tree
+TOPOLOGIES = (
+    "torus:k=3,n=2",
+    "dragonfly:a=2,p=2,h=1",
+    "fattree2:leaf=4,ratio=2",
+)
+
+
+class TestTopologyMatrix:
+    """Non-XGFT fabrics through every combo, baseline and managed."""
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_baseline(self, topology):
+        trace = make_trace("alya", 8, iterations=3, seed=31)
+        want = None
+        for kernel, scheduler in COMBOS:
+            cfg = ReplayConfig(
+                seed=31, kernel=kernel, scheduler=scheduler,
+                topology=topology,
+            )
+            got, _ = _baseline_observables(trace, cfg)
+            if want is None:
+                want = got
+            else:
+                _assert_equal(got, want, (topology, kernel, scheduler))
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_managed(self, topology):
+        trace = make_trace("gromacs", 8, iterations=4, seed=37)
+        want = None
+        for kernel, scheduler in COMBOS:
+            cfg = ReplayConfig(
+                seed=37, kernel=kernel, scheduler=scheduler,
+                topology=topology,
+            )
+            got = _managed_observables(trace, cfg, 0.05)
+            if want is None:
+                want = got
+            else:
+                _assert_equal(got, want, (topology, kernel, scheduler))
+
+    def test_topologies_actually_differ(self):
+        """The matrix is only meaningful if the families route
+        differently — their busy-interval structure must not collapse
+        onto the fitted fat tree's."""
+
+        trace = make_trace("alya", 8, iterations=3, seed=31)
+        fingerprints = set()
+        for topology in ("fitted",) + TOPOLOGIES:
+            cfg = ReplayConfig(seed=31, topology=topology)
+            got, _ = _baseline_observables(trace, cfg)
+            fingerprints.add(
+                (got["exec_time_us"],
+                 tuple(sorted(got["switch_traffic"].items())))
+            )
+        assert len(fingerprints) == len(TOPOLOGIES) + 1
+
+
 class TestRandomTraces:
     """Property-based leg: hypothesis-generated balanced traces must be
     combo-invariant, whatever shape they take."""
