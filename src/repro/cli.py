@@ -28,9 +28,12 @@ replays paper workloads across topology families (``--topology`` /
 ``--topologies`` take spec strings like ``torus:k=4,n=2`` — the
 ``repro.network.topologies`` registry documents each family's
 parameters).  ``bench`` times
-the pipeline stages and writes ``BENCH_pipeline.json``; with ``--smoke``
+the pipeline stages and writes ``BENCH_pipeline.json`` (schema 5:
+per-displacement managed replay detail plus the helper-spawn counter,
+asserted 0 on the fast kernel); with ``--smoke``
 it fails on a >3x slowdown against the recorded reference, and with
-``--profile`` it captures the replay stages under cProfile, prints the
+``--profile`` it captures both the baseline and the managed replay
+stages under cProfile, prints the
 top functions and dumps the stats next to the benchmark output.
 """
 

@@ -52,8 +52,10 @@ Environment knobs:
 * ``REPRO_MAX_SIZES``  — truncate each application's size axis to the
   first N process counts (benchmark drivers);
 * ``REPRO_WORKERS``    — worker processes for the per-rank planning
-  passes and sweep scans (default 1; the ``--workers`` CLI flag sets
-  it).  Results are bit-for-bit independent of the worker count.
+  passes, sweep scans, independent grid cells (``run_cells``) and a
+  cell's per-displacement managed replays (the displacement fan-out;
+  default 1; the ``--workers`` CLI flag sets it).  Results are
+  bit-for-bit independent of the worker count.
 """
 
 from __future__ import annotations
@@ -238,23 +240,58 @@ def run_cell(
             cell.fabric = fabric_for(nranks, replay_cfg)
         if cell.programs is None:
             cell.programs = compile_trace(trace)
-        for disp in missing:
-            directives, stats = cell.plan.rebind_displacement(disp)
-            managed = replay_managed(
-                trace,
-                directives,
-                baseline_exec_time_us=cell.baseline.exec_time_us,
-                displacement=disp,
-                grouping_thresholds_us=[gt_us] * nranks,
-                config=replay_cfg,
-                wrps=params,
-                runtime_stats=stats,
-                fabric=cell.fabric,
-                programs=cell.programs,
-            )
-            cell.managed[disp] = managed
-            if not cell.runtime_stats:
-                cell.runtime_stats = stats
+        bound = [
+            (disp,) + cell.plan.rebind_displacement(disp) for disp in missing
+        ]
+        nworkers = resolve_workers(None)
+        if nworkers > 1 and len(bound) > 1:
+            # displacement fan-out: the per-displacement managed replays
+            # are independent (each worker builds its own fabric and
+            # compiled programs, deterministically identical to the
+            # parent's reset/shared ones), so a cell's displacement
+            # factors replay in parallel exactly like `run_cells` fans
+            # out whole cells.  Results merge in displacement order —
+            # bit-for-bit equal to the serial loop below.
+            jobs = [
+                {
+                    "app": app,
+                    "nranks": nranks,
+                    "iterations": iters,
+                    "seed": seed,
+                    "scaling": scaling,
+                    "topology": topology,
+                    "kernel": kernel,
+                    "displacement": disp,
+                    "directives": directives,
+                    "stats": stats,
+                    "baseline_exec_time_us": cell.baseline.exec_time_us,
+                    "grouping_thresholds_us": [gt_us] * nranks,
+                    "wrps": params,
+                }
+                for disp, directives, stats in bound
+            ]
+            computed = parallel_map(_managed_replay_worker, jobs, nworkers)
+            for (disp, directives, stats), managed in zip(bound, computed):
+                cell.managed[disp] = managed
+                if not cell.runtime_stats:
+                    cell.runtime_stats = stats
+        else:
+            for disp, directives, stats in bound:
+                managed = replay_managed(
+                    trace,
+                    directives,
+                    baseline_exec_time_us=cell.baseline.exec_time_us,
+                    displacement=disp,
+                    grouping_thresholds_us=[gt_us] * nranks,
+                    config=replay_cfg,
+                    wrps=params,
+                    runtime_stats=stats,
+                    fabric=cell.fabric,
+                    programs=cell.programs,
+                )
+                cell.managed[disp] = managed
+                if not cell.runtime_stats:
+                    cell.runtime_stats = stats
     if cell.fabric is not None:
         # drop the last replay's busy logs before the cell lingers in
         # the cache — compiled routes/hop tables (the expensive,
@@ -308,6 +345,40 @@ def _cell_cache_key(spec: dict) -> tuple:
         spec.get("charge_overheads", True),
         spec.get("topology", DEFAULT_TOPOLOGY),
         spec.get("kernel", "fast"),
+    )
+
+
+def _managed_replay_worker(job: dict) -> "ManagedResult":
+    """One displacement's managed replay in a worker process.
+
+    Module-level for pickling.  The worker regenerates the trace (the
+    generators are deterministic in their parameters) and lets
+    ``replay_managed`` build a fresh fabric and compiled-program set —
+    deterministically identical to the parent's shared/reset ones, so
+    the fanned-out result is bit-for-bit the serial one.  Nested
+    parallelism is disabled the same way ``_run_cell_worker`` does.
+    """
+
+    os.environ["REPRO_WORKERS"] = "1"  # no nested pools inside a worker
+    trace = make_trace(
+        job["app"],
+        job["nranks"],
+        iterations=job["iterations"],
+        seed=job["seed"],
+        scaling=job["scaling"],
+    )
+    cfg = ReplayConfig(
+        seed=job["seed"], topology=job["topology"], kernel=job["kernel"]
+    )
+    return replay_managed(
+        trace,
+        job["directives"],
+        baseline_exec_time_us=job["baseline_exec_time_us"],
+        displacement=job["displacement"],
+        grouping_thresholds_us=job["grouping_thresholds_us"],
+        config=cfg,
+        wrps=job["wrps"],
+        runtime_stats=job["stats"],
     )
 
 

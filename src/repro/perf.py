@@ -9,12 +9,14 @@ stage (tolerant enough to absorb machine-to-machine noise, tight enough
 to catch an accidental return to per-candidate or per-displacement
 passes).
 
-Schema 4 mirrors the ``run_cell`` replay structure (one shared fabric
+Schema 5 mirrors the ``run_cell`` replay structure (one shared fabric
 and one compiled program set, reset/reused between replays) and times
 the replay pipeline of the compiled-program fast kernel: a
 ``program_compile_s`` stage for the trace -> opcode lowering, the
 default-path ``baseline_replay_s``/``managed_replay_s`` (compiled
-programs on the calendar-queue scheduler), and a
+programs on the calendar-queue scheduler; the managed stage runs the
+directive-compiled programs and includes the per-displacement
+directive weave), and a
 ``baseline_replay_heap_s`` stage that re-runs the baseline on the heapq
 reference scheduler so the smoke gate covers *both* schedulers.  The
 config carries a **topology dimension** (``--topology``, any family
@@ -22,8 +24,12 @@ spec from :mod:`repro.network.topologies`); timings recorded on one
 family never gate against a reference recorded on another.  A
 ``replay_detail`` section records the fast-kernel instrumentation:
 fabric build time, static-route pairs compiled and their compile time,
-the collective schedule-cache hit/miss counters and the compiled
-instruction count.  Every ``replay_detail`` counter is **per-run**, not
+the collective schedule-cache hit/miss counters, the compiled
+instruction count, a **helper-spawn counter** (0 by contract — the
+zero-spawn rendezvous invariant; the bench refuses to record a
+fast-kernel run that spawned helpers) and a ``managed`` list with
+**per-displacement** stage timings, simulated exec times and per-run
+spawn counts.  Every ``replay_detail`` counter is **per-run**, not
 process-cumulative: the bench starts from a cleared schedule cache
 (which also zeroes the hit/miss counters); for reporting against a
 warm cache that must not be cleared,
@@ -48,7 +54,7 @@ from .constants import DISPLACEMENT_FACTORS
 MAX_SLOWDOWN = 3.0
 
 #: benchmark schema version (bump when stages change incomparably)
-SCHEMA = 4
+SCHEMA = 5
 
 
 def _repo_root() -> pathlib.Path:
@@ -218,10 +224,13 @@ def run_pipeline_benchmark(
     bound = [(disp,) + plan.rebind_displacement(disp) for disp in displacements]
     stages["planning_pass_s"] = time.perf_counter() - t0
 
+    managed_detail: list[dict] = []
+    helper_spawns = baseline.helper_spawns
     t0 = time.perf_counter()
     with profiler:
         for disp, directives, stats in bound:
-            replay_managed(
+            t_disp = time.perf_counter()
+            managed = replay_managed(
                 trace,
                 directives,
                 baseline_exec_time_us=baseline.exec_time_us,
@@ -233,7 +242,25 @@ def run_pipeline_benchmark(
                 fabric=fabric,
                 programs=programs,
             )
+            managed_detail.append(
+                {
+                    "displacement": disp,
+                    "seconds": time.perf_counter() - t_disp,
+                    "exec_time_us": managed.exec_time_us,
+                    "helper_spawns": managed.helper_spawns,
+                }
+            )
+            helper_spawns += managed.helper_spawns
     stages["managed_replay_s"] = time.perf_counter() - t0
+
+    if replay_cfg.kernel == "fast" and helper_spawns != 0:
+        # the zero-spawn invariant: every nonblocking/rendezvous
+        # operation runs processlessly — a reintroduced helper spawn is
+        # a regression the bench must not record as normal
+        raise RuntimeError(
+            f"fast kernel spawned {helper_spawns} helper process(es); "
+            "the managed-replay fast path is spawn-free by contract"
+        )
 
     cache = schedule_cache_stats()
     result = {
@@ -261,6 +288,12 @@ def run_pipeline_benchmark(
             "collective_schedule_hits": cache["hits"],
             "collective_schedule_misses": cache["misses"],
             "compiled_instructions": programs.total_instructions,
+            # zero-spawn invariant: helper processes spawned across the
+            # baseline + managed replays (0 by contract; the bench
+            # refuses to record a fast-kernel run that spawned any)
+            "helper_spawns": helper_spawns,
+            # per-displacement managed stage timings (informational)
+            "managed": managed_detail,
         },
     }
     if profile_path is not None:
@@ -340,6 +373,14 @@ def format_benchmark(result: Mapping) -> str:
             f"in {detail['route_compile_s'] * 1e3:.1f} ms, "
             f"schedule cache {detail['collective_schedule_hits']} hits / "
             f"{detail['collective_schedule_misses']} misses, "
-            f"{detail.get('compiled_instructions', 0)} compiled instructions"
+            f"{detail.get('compiled_instructions', 0)} compiled instructions, "
+            f"{detail.get('helper_spawns', 0)} helper spawns"
         )
+        for row in detail.get("managed", ()):
+            lines.append(
+                f"    managed d={row['displacement']:<5g} "
+                f"{row['seconds'] * 1e3:8.1f} ms "
+                f"(exec {row['exec_time_us'] / 1e3:.3f} ms, "
+                f"{row['helper_spawns']} spawns)"
+            )
     return "\n".join(lines)

@@ -83,6 +83,28 @@ class LinkEnergyAccount:
 
     # -- integrals -----------------------------------------------------------
 
+    def integrate(self) -> tuple[float, float, float]:
+        """One pass over the timeline: ``(total_us, energy_us, low_us)``.
+
+        Exactly the sums the per-metric helpers below produce, accumulated
+        together so run-level aggregation touches each interval once
+        instead of four times.  The accumulation order matches the
+        individual ``sum()`` passes, so the floats are bit-identical.
+        """
+
+        total = 0.0
+        energy = 0.0
+        low = 0.0
+        power_of = self.params.power_of
+        low_mode = LinkPowerMode.LOW
+        for i in self.intervals:
+            d = i.end_us - i.start_us
+            total += d
+            energy += power_of(i.mode) * d
+            if i.mode is low_mode:
+                low += d
+        return total, energy, low
+
     def residency_us(self, mode: LinkPowerMode) -> float:
         return sum(i.duration_us for i in self.intervals if i.mode is mode)
 
@@ -145,8 +167,13 @@ def aggregate(
     transitions = 0
     for acc in accounts:
         acc.close(wall_time_us)
-        savings.append(100.0 * acc.savings_fraction())
-        low_res.append(100.0 * acc.low_power_fraction_of_time())
+        total, energy, low = acc.integrate()
+        if total > 0:
+            savings.append(100.0 * (1.0 - energy / total))
+            low_res.append(100.0 * (low / total))
+        else:
+            savings.append(0.0)
+            low_res.append(0.0)
         transitions += acc.transitions_to_low
     return PowerReport(
         mean_savings_pct=sum(savings) / len(savings),

@@ -104,6 +104,7 @@ def fabric_switch_rollup(
     fabric,
     accounts: Sequence[LinkEnergyAccount],
     model: SwitchPowerModel | None = None,
+    link_savings_pct: Sequence[float] | None = None,
 ) -> tuple[SwitchSavings, ...]:
     """Per-switch savings rollup over a replay's managed HCA accounts.
 
@@ -123,7 +124,13 @@ def fabric_switch_rollup(
     for rank, account in enumerate(accounts):
         link = fabric.host_link(rank)
         switch_node = next(e for e in link.endpoints if not e.is_host)
-        per_switch[switch_node].append(100.0 * account.savings_fraction())
+        per_switch[switch_node].append(
+            # reuse the integrals a caller (replay_managed's aggregate)
+            # already computed instead of re-walking every timeline
+            link_savings_pct[rank]
+            if link_savings_pct is not None
+            else 100.0 * account.savings_fraction()
+        )
     rows = []
     for node in sorted(per_switch):
         savings = per_switch[node]

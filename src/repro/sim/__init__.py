@@ -20,7 +20,12 @@ per-message hot path touches only flat, already-compiled state:
    delay, collectives resolve their memoised step schedules at compile
    time, and :meth:`~repro.sim.mpi.MPIWorld.run_program` executes the
    whole rank as a single generator frame dispatching on small-int
-   opcodes.  The record interpreter is kept as
+   opcodes.  Managed-run directives compile too
+   (``CompiledTrace.with_directives``): PPA overheads and shutdown
+   instructions become dedicated opcodes, fused into adjacent delays
+   where semantics allow, so the managed replay runs the same
+   probe-free driver.  The record interpreter (with its per-call
+   directive dict probes) is kept as
    ``ReplayConfig(kernel="reference")``.
 2. **Collective expansion** (:mod:`repro.sim.collectives`) — a
    collective's point-to-point schedule is a pure function of
@@ -30,11 +35,15 @@ per-message hot path touches only flat, already-compiled state:
    times in a trace expands exactly once.  Relative tags are validated
    against ``COLLECTIVE_TAG_STRIDE`` so rebased instances never collide.
 3. **Matching + protocol** (:mod:`repro.sim.mpi`) — posted/unexpected
-   queues with eager and rendezvous protocols.  Envelopes and the
-   per-operation completion :class:`~repro.sim.engine.Signal` objects
-   are recycled through free-lists once the matching layer has fully
-   consumed them, so steady-state replay allocates no per-message
-   objects.
+   queues with eager and rendezvous protocols, fully **processless**:
+   eager isends complete as plain float timestamps, irecvs probe the
+   matching layer at call time, rendezvous sends run as signal-chained
+   continuations instead of helper processes (zero spawns — asserted),
+   and WAIT/WAITALL drains a slice of nonblocking ops with at most one
+   absolute-time sleep.  Envelopes and the per-operation completion
+   :class:`~repro.sim.engine.Signal` objects are recycled through
+   free-lists once the matching layer has fully consumed them, so
+   steady-state replay allocates no per-message objects.
 4. **The fabric** (:mod:`repro.network.fabric`) — routes are *static
    per (src, dst) pair* (an IB subnet manager programs forwarding tables
    ahead of traffic): a seeded, order-independent

@@ -120,6 +120,15 @@ def _resolve_programs(
     replayed.
     """
 
+    if programs is not None and programs.managed:
+        # guard on every kernel: the reference path would silently
+        # ignore the set, masking the sharing mistake on one kernel only
+        raise ValueError(
+            "programs= must be the shared base compile_trace() result; "
+            "a directive-specialised set is private to the managed "
+            "replay that wove it (replay_managed specialises the base "
+            "set itself)"
+        )
     if config.kernel == "reference":
         return None
     if programs is None:
@@ -209,6 +218,7 @@ def replay_baseline(
         event_logs=world.event_logs,
         messages_sent=fabric.messages_sent,
         bytes_carried=fabric.total_bytes_carried(),
+        helper_spawns=world.helper_spawns,
     )
 
 
@@ -243,10 +253,13 @@ def replay_managed(
     cfg = config or ReplayConfig()
     params = wrps or WRPSParams.paper()
 
-    managed: dict[tuple, ManagedLink] = {}
+    # keyed by link object identity: the hook runs per below-full-width
+    # hop on the replay hot path, and the fabric owns the link objects
+    # for the whole replay, so id() is stable and probe-allocation-free
+    managed: dict[int, ManagedLink] = {}
 
     def power_hook(link: Link, t_us: float) -> float:
-        ml = managed.get((link.a, link.b))
+        ml = managed.get(id(link))
         if ml is None:
             return link.ready_time(t_us)
         return ml.request_full(t_us)
@@ -259,7 +272,7 @@ def replay_managed(
     for rank in range(trace.nranks):
         link = fabric.host_link(rank)
         ml = ManagedLink.create(link, params)
-        managed[(link.a, link.b)] = ml
+        managed[id(link)] = ml
         rank_links.append(ml)
 
     def on_shutdown(
@@ -277,12 +290,17 @@ def replay_managed(
 
     progs = _resolve_programs(trace, cfg, programs)
     if progs is not None:
+        # resolve the per-call directive lookups at compile time: the
+        # shared base program set is woven with this displacement's
+        # directives (dedicated overhead/shutdown opcodes, fused where
+        # semantics allow), so the driver below runs the same
+        # probe-free hot loop as the baseline replay
+        progs = progs.with_directives(directives)
         for proc in trace.processes:
             engine.spawn(
                 world.run_program(
                     proc.rank,
                     progs.programs[proc.rank],
-                    directives=directives[proc.rank],
                     on_shutdown=on_shutdown,
                 ),
                 name=f"rank{proc.rank}",
@@ -318,5 +336,8 @@ def replay_managed(
         runtime_stats=list(runtime_stats) if runtime_stats is not None else [],
         accounts=accounts,
         topology=cfg.topology,
-        switch_savings=fabric_switch_rollup(fabric, accounts),
+        switch_savings=fabric_switch_rollup(
+            fabric, accounts, link_savings_pct=report.per_link_savings_pct
+        ),
+        helper_spawns=world.helper_spawns,
     )

@@ -1,10 +1,10 @@
 """Discrete-event simulation core.
 
 A minimal, dependency-free DES kernel in the SimPy style: *processes* are
-Python generators that ``yield`` requests to the engine — either a
+Python generators that ``yield`` requests to the engine — a
 :class:`Delay` (or a bare non-negative float, the allocation-free form
-the compiled replay programs use) or a :class:`Signal` / :class:`AllOf`
-to wait on.  The engine owns the clock and an event queue; everything
+the compiled replay programs use), an :class:`At` absolute-time sleep,
+or a :class:`Signal` / :class:`AllOf` to wait on.  The engine owns the clock and an event queue; everything
 else (MPI semantics, the network, power) is layered on top in
 :mod:`repro.sim.mpi`.
 
@@ -87,6 +87,26 @@ class Delay:
     """Yielded by a process to advance its local time."""
 
     duration_us: float
+
+
+class At:
+    """Yielded by a process to sleep until an *absolute* time.
+
+    The relative :class:`Delay` form resumes at ``now + duration`` — two
+    chained delays therefore accumulate as ``(now + d1) + d2``.  ``At``
+    lets a process that has already performed that exact arithmetic
+    (e.g. a compiled instruction that fuses a coalesced compute burst
+    with a PPA overhead charged right after it) reach the identical
+    timestamp with a *single* queue event.  Mutable on purpose: hot
+    loops keep one instance per frame and rewrite ``t_us`` between
+    yields — the engine reads the field synchronously during dispatch,
+    so reuse is safe.
+    """
+
+    __slots__ = ("t_us",)
+
+    def __init__(self, t_us: float = 0.0) -> None:
+        self.t_us = t_us
 
 
 class Signal:
@@ -230,6 +250,8 @@ class Engine:
         "_cal_inv",
         "_cal_cur",
         "_direct_searches",
+        "blocked_reporter",
+        "spawn_count",
     )
 
     def __init__(
@@ -249,8 +271,17 @@ class Engine:
         self._processes: list[_Process] = []
         self._active = 0
         self._signal_pool: list[Signal] = []
+        #: optional callable returning extra blocked-entity names for
+        #: deadlock reports (processless helpers — e.g. in-flight
+        #: rendezvous continuations — are invisible to the process
+        #: table, but their stalls should still read like the old
+        #: helper-process names did)
+        self.blocked_reporter: Callable[[], list[str]] | None = None
+        #: lifetime count of spawned processes — the replay layer's
+        #: no-helper-spawn invariant is asserted against it
+        self.spawn_count = 0
         self._queue: list[tuple] = []
-        self._schedule = self._schedule_heap
+        self._schedule = self._make_schedule_heap()
         if scheduler == "calendar":
             n = int(calendar_nbuckets)
             if n <= 0 or n & (n - 1):
@@ -266,13 +297,14 @@ class Engine:
             #: at ``_cal_cur + 1``); -1 so the first scan checks window 0
             self._cal_cur = -1
             self._direct_searches = 0
-            self._schedule = self._schedule_calendar
+            self._schedule = self._make_schedule_calendar()
 
     # -- public API ----------------------------------------------------------
 
     def spawn(self, gen: Generator, name: str = "proc") -> _Process:
         """Register a generator as a simulation process, started at t=now."""
 
+        self.spawn_count += 1
         proc = _Process(name=name, gen=gen)
         self._processes.append(proc)
         self._active += 1
@@ -284,36 +316,55 @@ class Engine:
 
         self._schedule(t_us, _invoke, action)
 
-    def _schedule_heap(self, t_us: float, fn: Callable[[Any], None], arg: Any) -> None:
-        """Queue ``fn(arg)`` at ``t_us`` (>= now); the single-argument form
-        lets hot paths schedule bound methods without closure allocations."""
+    def _make_schedule_heap(self) -> Callable:
+        """Build the heap push as a closure — ``_schedule(t, fn, arg)``.
 
-        now = self.now
-        if t_us < now - 1e-9:
-            raise SimulationError(
-                f"cannot schedule in the past: {t_us} < now={now}"
-            )
-        heappush(
-            self._queue,
-            (t_us if t_us > now else now, next(self._seq), fn, arg),
-        )
+        The single-argument ``fn(arg)`` form lets hot paths schedule
+        bound methods without closure allocations; binding the queue and
+        sequence counter as closure cells (instead of attribute loads
+        per call) shaves the hottest few loads off every event push.
+        """
 
-    def _schedule_calendar(
-        self, t_us: float, fn: Callable[[Any], None], arg: Any
-    ) -> None:
-        now = self.now
-        if t_us <= now:
+        queue = self._queue
+        seq_next = self._seq.__next__
+
+        def schedule(t_us: float, fn: Callable[[Any], None], arg: Any,
+                     _push=heappush) -> None:
+            now = self.now
             if t_us < now - 1e-9:
                 raise SimulationError(
                     f"cannot schedule in the past: {t_us} < now={now}"
                 )
-            t_us = now
-        # (t, seq) is globally fresh, so within the serving window the
-        # entry always lands at-or-after the cursor position
-        insort(
-            self._buckets[int(t_us * self._cal_inv) & self._cal_mask],
-            (t_us, next(self._seq), fn, arg),
-        )
+            _push(queue, (t_us if t_us > now else now, seq_next(), fn, arg))
+
+        return schedule
+
+    def _make_schedule_calendar(self) -> Callable:
+        """Build the calendar push as a closure (see
+        :meth:`_make_schedule_heap` for why)."""
+
+        buckets = self._buckets
+        mask = self._cal_mask
+        inv = self._cal_inv
+        seq_next = self._seq.__next__
+
+        def schedule(t_us: float, fn: Callable[[Any], None], arg: Any,
+                     _insort=insort, _int=int) -> None:
+            now = self.now
+            if t_us <= now:
+                if t_us < now - 1e-9:
+                    raise SimulationError(
+                        f"cannot schedule in the past: {t_us} < now={now}"
+                    )
+                t_us = now
+            # (t, seq) is globally fresh, so within the serving window
+            # the entry always lands at-or-after the cursor position
+            _insort(
+                buckets[_int(t_us * inv) & mask],
+                (t_us, seq_next(), fn, arg),
+            )
+
+        return schedule
 
     def run(self, until_us: float | None = None) -> float:
         """Drain the event queue; returns the final simulation time.
@@ -353,11 +404,15 @@ class Engine:
         cursor = 0
         now = self.now
         limit = float("inf") if until_us is None else until_us
+        # the serving-window bound (cur + 1.0), maintained wherever the
+        # window pointer moves so the per-event gate is one float mul
+        # and one compare
+        bound = cur + 1.0
         while True:
             if curb is not None and cursor < len(curb):
                 entry = curb[cursor]
                 t_us = entry[0]
-                if t_us * inv < cur + 1.0:
+                if t_us * inv < bound:
                     if t_us > limit:
                         # pause without consuming the entry; rewind the
                         # serving pointer so events scheduled while
@@ -390,9 +445,10 @@ class Engine:
             nonempty = False
             while True:
                 cur += 1
+                bound += 1.0
                 bucket = buckets[cur & mask]
                 if bucket:
-                    if bucket[0][0] * inv < cur + 1.0:
+                    if bucket[0][0] * inv < bound:
                         curb = bucket
                         break
                     nonempty = True
@@ -413,6 +469,7 @@ class Engine:
                             best = b[0]
                     assert best is not None
                     cur = int(best[0] * inv)
+                    bound = cur + 1.0
                     curb = buckets[cur & mask]
                     break
             cursor = 0
@@ -420,6 +477,8 @@ class Engine:
     def _check_deadlock(self) -> None:
         if self._active > 0:
             blocked = [p.name for p in self._processes if not p.done]
+            if self.blocked_reporter is not None:
+                blocked.extend(self.blocked_reporter())
             raise SimulationError(
                 f"deadlock: {self._active} process(es) still blocked: "
                 + ", ".join(blocked[:8])
@@ -491,6 +550,14 @@ class Engine:
                     f"process {proc.name} yielded a negative delay"
                 )
             self._schedule(self.now + duration, self._resume_none, proc)
+        elif cls is At:
+            t_us = request.t_us
+            if t_us < self.now - 1e-9:
+                raise SimulationError(
+                    f"process {proc.name} yielded At({t_us}) in the past "
+                    f"(now={self.now})"
+                )
+            self._schedule(t_us, self._resume_none, proc)
         elif cls is Signal:
             request._add_waiter_process(proc)
         elif cls is AllOf:
@@ -498,7 +565,7 @@ class Engine:
         else:
             raise SimulationError(
                 f"process {proc.name} yielded unsupported request "
-                f"{request!r}; yield Delay, Signal or AllOf"
+                f"{request!r}; yield Delay, At, Signal or AllOf"
             )
 
     def _resume(self, proc: _Process, send_value: Any) -> None:
@@ -528,6 +595,14 @@ class Engine:
                     f"process {proc.name} yielded a negative delay"
                 )
             self._schedule(self.now + duration, self._resume_none, proc)
+        elif cls is At:
+            t_us = request.t_us
+            if t_us < self.now - 1e-9:
+                raise SimulationError(
+                    f"process {proc.name} yielded At({t_us}) in the past "
+                    f"(now={self.now})"
+                )
+            self._schedule(t_us, self._resume_none, proc)
         elif cls is Signal:
             request._add_waiter_process(proc)
         elif cls is AllOf:
@@ -535,7 +610,7 @@ class Engine:
         else:
             raise SimulationError(
                 f"process {proc.name} yielded unsupported request "
-                f"{request!r}; yield Delay, Signal or AllOf"
+                f"{request!r}; yield Delay, At, Signal or AllOf"
             )
 
     def _resume_barrier(self, barrier: _Barrier) -> None:

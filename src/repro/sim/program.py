@@ -25,7 +25,15 @@ module brings that shape here.
 * the eager/rendezvous decision is **not** baked in — message sizes stay
   in the instructions and the driver compares against the world's eager
   threshold at run time, so one compiled trace serves every protocol
-  configuration.
+  configuration;
+* managed-run directives compile too: :meth:`CompiledTrace.
+  with_directives` resolves each rank's per-call
+  :class:`~repro.sim.mpi.RankDirective` lookups at compile time into
+  dedicated opcodes (``OP_OVERHEAD`` / ``OP_SHUTDOWN``), fusing PPA
+  overheads into adjacent ``OP_DELAY`` instructions where semantics
+  allow (``OP_DELAY_OVH`` / ``OP_OVH_DELAY`` reach the exact chained
+  timestamps through one absolute-time event) — so the managed replay
+  runs the same single-frame driver with no per-call dict probes.
 
 The driver itself lives in :meth:`repro.sim.mpi.MPIWorld.run_program`;
 it dispatches on the small-integer opcode (a per-opcode branch table)
@@ -75,6 +83,24 @@ OP_SENDRECV = 6
 #: ``(OP_COLLECTIVE, call, steps)`` — steps are lowered relative-tag
 #: tuples ``(step_op, peer, size_bytes, rel_tag)``
 OP_COLLECTIVE = 7
+
+# -- managed-run opcodes (compiled from RankDirectives; see
+# ``CompiledTrace.with_directives``) ----------------------------------------
+
+#: ``(OP_OVERHEAD, overhead_us)`` — PPA software cost charged as one
+#: plain delay (a pre- or post-overhead that could not fuse)
+OP_OVERHEAD = 8
+#: ``(OP_SHUTDOWN, timer_us, delay_us)`` — turn-off-lanes instruction;
+#: the driver invokes ``on_shutdown(rank, now, timer_us, delay_us)``
+OP_SHUTDOWN = 9
+#: ``(OP_DELAY_OVH, raw_duration_us, overhead_us)`` — a coalesced
+#: compute burst with the *next* call's pre-overhead fused behind it:
+#: one queue event landing on ``(now + raw/speedup) + overhead``, the
+#: exact timestamp the interpreter's two chained delays reach
+OP_DELAY_OVH = 10
+#: ``(OP_OVH_DELAY, overhead_us, raw_duration_us)`` — the mirror fusion:
+#: a call's post-overhead followed by a compute burst
+OP_OVH_DELAY = 11
 
 #: collective step micro-opcodes (see ``_lower_steps``)
 STEP_SEND = 0        # blocking send
@@ -166,6 +192,13 @@ class CompiledTrace:
     record on ``Trace.meta``, so two same-named, same-shaped traces from
     different seeds do not silently share programs; hand-built traces
     with empty meta fall back to the structural fields.
+
+    ``managed`` marks a program set specialised with one displacement's
+    :class:`~repro.sim.mpi.RankDirective` maps
+    (:meth:`with_directives`).  Specialised sets are private to the
+    managed replay that wove them — the drivers reject one arriving
+    through the shared ``programs=`` parameter, because nothing could
+    verify it was woven from *these* directives.
     """
 
     trace_name: str
@@ -173,6 +206,7 @@ class CompiledTrace:
     total_records: int
     programs: tuple[RankProgram, ...]
     trace_meta: tuple = ()
+    managed: bool = False
 
     @property
     def total_instructions(self) -> int:
@@ -217,22 +251,135 @@ class CompiledTrace:
             and self.trace_meta == _meta_signature(trace)
         )
 
+    def with_directives(self, directives: Sequence[dict]) -> "CompiledTrace":
+        """Specialise this (base) program set for one managed replay.
+
+        ``directives[rank]`` maps MPI-call index ->
+        :class:`~repro.sim.mpi.RankDirective`.  Each rank's per-call
+        directive lookups are resolved *here*, at compile time, into
+        dedicated instructions woven around the base opcodes — the
+        driver's hot loop then runs with no directive dict probes at
+        all:
+
+        * ``pre_overhead_us``  -> ``OP_OVERHEAD`` right before the call,
+          fused into an immediately preceding plain ``OP_DELAY`` as
+          ``OP_DELAY_OVH`` (one queue event instead of two; the fused
+          arithmetic reproduces the chained-delay timestamps exactly);
+        * ``post_overhead_us`` -> ``OP_OVERHEAD`` right after the call,
+          fused forward into a following plain ``OP_DELAY`` as
+          ``OP_OVH_DELAY`` — unless a shutdown directive intervenes
+          (the turn-off instruction must execute *at* the
+          post-overhead's exit time, so semantics forbid the fusion);
+        * ``shutdown_timer_us`` -> ``OP_SHUTDOWN`` after the overheads.
+
+        Raises :class:`ValueError` on a rank-count mismatch or when
+        called on an already-specialised set.
+        """
+
+        if self.managed:
+            raise ValueError(
+                "programs are already directive-specialised; specialise "
+                "the base compile_trace() result instead"
+            )
+        if len(directives) != self.nranks:
+            raise ValueError(
+                f"need directives for {self.nranks} ranks, "
+                f"got {len(directives)}"
+            )
+        return CompiledTrace(
+            trace_name=self.trace_name,
+            nranks=self.nranks,
+            total_records=self.total_records,
+            programs=tuple(
+                RankProgram(p.rank, _weave_directives(p.code, rank_dirs))
+                for p, rank_dirs in zip(self.programs, directives)
+            ),
+            trace_meta=self.trace_meta,
+            managed=True,
+        )
+
 
 def _meta_signature(trace: Trace) -> tuple:
     return tuple(sorted((str(k), str(v)) for k, v in trace.meta.items()))
 
 
-def compile_trace(trace: Trace) -> CompiledTrace:
+def _weave_directives(code: tuple, rank_dirs: dict) -> tuple:
+    """Weave one rank's directive map into its base instruction tuple.
+
+    Every instruction except ``OP_DELAY`` is exactly one MPI call, in
+    call-index order — the same indexing the interpreter's per-call
+    ``directives.get(call_index)`` probes use.  Overheads are coerced to
+    float here (``1.0 *``) so the driver's bare yields are always exact
+    floats, like the ``Delay`` boxing the interpreter pays per call.
+    """
+
+    if not rank_dirs:
+        return code
+    out: list[tuple] = []
+    append = out.append
+    get_directive = rank_dirs.get
+    call_index = 0
+    prev_op = -1  # opcode of out[-1] (-1: empty), tracked as a local
+    for ins in code:
+        if ins[0] == OP_DELAY:
+            if prev_op == OP_OVERHEAD:
+                # a post-overhead directly before a compute burst (no
+                # shutdown in between): fuse into one instruction
+                out[-1] = (OP_OVH_DELAY, out[-1][1], ins[1])
+                prev_op = OP_OVH_DELAY
+            else:
+                append(ins)
+                prev_op = OP_DELAY
+            continue
+        directive = get_directive(call_index)
+        call_index += 1
+        if directive is None:
+            append(ins)
+            prev_op = ins[0]
+            continue
+        pre = directive.pre_overhead_us
+        if pre > 0:
+            if prev_op == OP_DELAY:
+                # compute burst directly before the call: charge the
+                # pre-overhead behind it in the same queue event
+                out[-1] = (OP_DELAY_OVH, out[-1][1], 1.0 * pre)
+            else:
+                append((OP_OVERHEAD, 1.0 * pre))
+        append(ins)
+        prev_op = ins[0]
+        post = directive.post_overhead_us
+        if post > 0:
+            append((OP_OVERHEAD, 1.0 * post))
+            prev_op = OP_OVERHEAD
+        if directive.shutdown_timer_us is not None:
+            append(
+                (OP_SHUTDOWN, directive.shutdown_timer_us,
+                 directive.shutdown_delay_us)
+            )
+            prev_op = OP_SHUTDOWN
+    return tuple(out)
+
+
+def compile_trace(
+    trace: Trace, directives: Sequence[dict] | None = None
+) -> CompiledTrace:
     """Compile every rank of ``trace`` (done once, reused per replay).
 
     Drivers compile a trace once per cell and hand the result to
     :func:`repro.sim.dimemas.replay_baseline` /
     :func:`~repro.sim.dimemas.replay_managed` via their ``programs=``
     parameter, the same sharing idiom as ``fabric=``.
+
+    With ``directives`` (one per-call :class:`~repro.sim.mpi.
+    RankDirective` map per rank) the result is additionally specialised
+    for one managed replay — equivalent to
+    ``compile_trace(trace).with_directives(directives)``, which is what
+    :func:`~repro.sim.dimemas.replay_managed` does internally with the
+    shared base set.
     """
 
     nranks = trace.nranks
-    return CompiledTrace(
+    compiled = CompiledTrace(
         trace_name=trace.name,
         nranks=nranks,
         total_records=trace.total_records,
@@ -242,3 +389,6 @@ def compile_trace(trace: Trace) -> CompiledTrace:
         ),
         trace_meta=_meta_signature(trace),
     )
+    if directives is None:
+        return compiled
+    return compiled.with_directives(directives)

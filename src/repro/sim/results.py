@@ -23,6 +23,10 @@ class BaselineResult:
     event_logs: list[list[MPIEvent]]
     messages_sent: int
     bytes_carried: int
+    #: helper processes spawned by the MPI layer during the replay —
+    #: 0 since the zero-spawn rendezvous/irecv refactor (the bench and
+    #: regression tests assert on it)
+    helper_spawns: int = 0
 
     def rank_gaps(self, rank: int) -> np.ndarray:
         return np.asarray(idle_gaps(self.event_logs[rank]), dtype=np.float64)
@@ -66,6 +70,10 @@ class ManagedResult:
     #: (:func:`repro.power.switchpower.fabric_switch_rollup`) — radix
     #: aware, so heterogeneous families aggregate correctly
     switch_savings: tuple = ()
+    #: helper processes spawned by the MPI layer during the replay —
+    #: 0 since the zero-spawn rendezvous/irecv refactor (the bench and
+    #: regression tests assert on it)
+    helper_spawns: int = 0
 
     @property
     def fleet_switch_savings_pct(self) -> float:

@@ -159,7 +159,7 @@ def mpi_records(records: Iterable[TraceRecord]) -> list[TraceRecord]:
     return [r for r in records if not isinstance(r, Compute)]
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class MPIEvent:
     """A *timed* MPI event, as observed by the PMPI interposition layer.
 
@@ -168,6 +168,12 @@ class MPIEvent:
     the gap between one event's ``exit_us`` and the next event's
     ``enter_us`` is the inter-communication (idle) interval the paper's
     PPA feeds on.
+
+    Not frozen, on purpose: the replay appends one per MPI call on its
+    hot path, and a frozen dataclass pays three ``object.__setattr__``
+    round trips per construction.  Nothing mutates events after the
+    replay hands the logs out; ``unsafe_hash`` keeps the type hashable
+    (by field values, like the frozen form was) for set/dict users.
     """
 
     call: MPICall

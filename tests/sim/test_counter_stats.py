@@ -67,11 +67,17 @@ class TestBenchDetailPerRun:
         second = perf.run_pipeline_benchmark(**kwargs)
 
         def counters(result):
-            # drop wall-clock fields; only the counters must be per-run
-            return {
+            # drop wall-clock fields (incl. the per-displacement managed
+            # stage seconds); only the counters must be per-run
+            detail = {
                 k: v for k, v in result["replay_detail"].items()
                 if not k.endswith("_s")
             }
+            detail["managed"] = [
+                {k: v for k, v in row.items() if k != "seconds"}
+                for row in detail.get("managed", ())
+            ]
+            return detail
 
         assert counters(first) == counters(second)
         assert first["replay_detail"]["collective_schedule_misses"] > 0

@@ -113,6 +113,10 @@ def _managed_observables(trace, cfg, displacement):
         runtime_stats=stats,
         fabric=fabric,
     )
+    # the zero-spawn invariant holds on every kernel: nonblocking and
+    # rendezvous operations run processlessly everywhere
+    assert baseline.helper_spawns == 0
+    assert managed.helper_spawns == 0
     return {
         "baseline_exec_us": baseline.exec_time_us,
         "exec_time_us": managed.exec_time_us,
@@ -121,6 +125,7 @@ def _managed_observables(trace, cfg, displacement):
         "counters": managed.counters,
         "intervals": [acc.intervals for acc in managed.accounts],
         "energy": [acc.energy() for acc in managed.accounts],
+        "helper_spawns": managed.helper_spawns,
     }
 
 
@@ -245,6 +250,56 @@ class TestTopologyMatrix:
                  tuple(sorted(got["switch_traffic"].items())))
             )
         assert len(fingerprints) == len(TOPOLOGIES) + 1
+
+
+class TestDisplacementFanOut:
+    """The managed replays of one cell, fanned out over worker
+    processes (workers > 1), must be bit-for-bit the serial cell — and
+    both must match the reference-kernel cell."""
+
+    SPEC = dict(app="gromacs", nranks=8, iterations=3, seed=41,
+                use_cache=False)
+
+    @staticmethod
+    def _managed_fingerprint(cell):
+        return {
+            disp: (
+                m.exec_time_us,
+                m.event_logs,
+                m.power,
+                m.counters,
+                [acc.intervals for acc in m.accounts],
+                m.helper_spawns,
+            )
+            for disp, m in cell.managed.items()
+        }
+
+    def test_workers_bit_for_bit(self):
+        import os
+
+        from repro.experiments.common import clear_cache, run_cell
+
+        clear_cache()
+        serial = run_cell(**self.SPEC)
+        previous = os.environ.get("REPRO_WORKERS")
+        os.environ["REPRO_WORKERS"] = "2"
+        try:
+            clear_cache()
+            fanned = run_cell(**self.SPEC)
+        finally:
+            if previous is None:
+                del os.environ["REPRO_WORKERS"]
+            else:
+                os.environ["REPRO_WORKERS"] = previous
+        clear_cache()
+        reference = run_cell(**self.SPEC, kernel="reference")
+        clear_cache()
+
+        want = self._managed_fingerprint(serial)
+        assert self._managed_fingerprint(fanned) == want
+        assert self._managed_fingerprint(reference) == want
+        assert serial.baseline.exec_time_us == reference.baseline.exec_time_us
+        assert all(m.helper_spawns == 0 for m in fanned.managed.values())
 
 
 class TestRandomTraces:

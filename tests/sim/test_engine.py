@@ -2,12 +2,94 @@
 
 import pytest
 
-from repro.sim.engine import AllOf, Delay, Engine, Signal, SimulationError
+from repro.sim.engine import AllOf, At, Delay, Engine, Signal, SimulationError
 
 
 @pytest.fixture(params=["heap", "calendar"])
 def scheduler(request):
     return request.param
+
+
+class TestAt:
+    """Absolute-time sleeps (the fused-delay request)."""
+
+    def test_resumes_at_exact_time(self, scheduler):
+        eng = Engine(scheduler=scheduler)
+        log = []
+
+        def proc():
+            yield At(5.0)
+            log.append(eng.now)
+            yield At(5.0 + 2.5)
+            log.append(eng.now)
+
+        eng.spawn(proc())
+        assert eng.run() == 7.5
+        assert log == [5.0, 7.5]
+
+    def test_equals_chained_delays_bit_for_bit(self, scheduler):
+        # the fused form must land on ((now + d1) + d2), exactly what
+        # two chained Delay yields reach
+        d1, d2 = 0.1, 0.2
+        eng1 = Engine(scheduler=scheduler)
+
+        def chained():
+            yield Delay(d1)
+            yield Delay(d2)
+
+        eng1.spawn(chained())
+        t_chained = eng1.run()
+
+        eng2 = Engine(scheduler=scheduler)
+
+        def fused():
+            yield At((eng2.now + d1) + d2)
+
+        eng2.spawn(fused())
+        assert eng2.run() == t_chained
+
+    def test_mutable_instance_reusable(self, scheduler):
+        eng = Engine(scheduler=scheduler)
+        log = []
+
+        def proc():
+            at = At(0.0)
+            for t in (1.0, 4.0, 4.5):
+                at.t_us = t
+                yield at
+                log.append(eng.now)
+
+        eng.spawn(proc())
+        eng.run()
+        assert log == [1.0, 4.0, 4.5]
+
+    def test_at_now_is_a_queue_round_trip(self, scheduler):
+        eng = Engine(scheduler=scheduler)
+        order = []
+
+        def a():
+            yield At(0.0)
+            order.append("a")
+
+        def b():
+            yield At(0.0)
+            order.append("b")
+
+        eng.spawn(a())
+        eng.spawn(b())
+        eng.run()
+        assert order == ["a", "b"]
+
+    def test_past_time_rejected(self, scheduler):
+        eng = Engine(scheduler=scheduler)
+
+        def proc():
+            yield Delay(10.0)
+            yield At(3.0)
+
+        eng.spawn(proc())
+        with pytest.raises(SimulationError, match="in the past"):
+            eng.run()
 
 
 class TestDelay:

@@ -111,6 +111,52 @@ class TestPointToPoint:
             _run(t)
 
 
+class TestDeadlockReports:
+    """Zero-spawn helpers must still render readably in deadlock reports.
+
+    Rendezvous sends no longer run as named helper processes; the world
+    reports in-flight continuations through the engine's
+    ``blocked_reporter`` hook under the same precomputed per-rank
+    ``isend<rank>`` names the spawned helpers used to carry.
+    """
+
+    @pytest.mark.parametrize("kernel", ["fast", "reference"])
+    def test_stuck_rendezvous_isend_named(self, kernel):
+        big = EAGER_THRESHOLD_BYTES + 1
+        t = Trace.empty("t", 2)
+        # rank0's rendezvous isend never gets a matching recv: the RTS
+        # is never answered, so the continuation stays in flight
+        t[0].append(PointToPoint(MPICall.ISEND, 1, big, tag=9))
+        t[0].append(PointToPoint(MPICall.WAITALL, 0, 0, 0))
+        with pytest.raises(SimulationError) as err:
+            _run(t, kernel=kernel)
+        msg = str(err.value)
+        assert "rank0" in msg
+        assert "isend0 (rendezvous in flight)" in msg
+
+    @pytest.mark.parametrize("kernel", ["fast", "reference"])
+    def test_stuck_blocking_rendezvous_send_named(self, kernel):
+        big = EAGER_THRESHOLD_BYTES + 1
+        t = Trace.empty("t", 2)
+        t[0].append(PointToPoint(MPICall.SEND, 1, big, tag=9))
+        with pytest.raises(SimulationError) as err:
+            _run(t, kernel=kernel)
+        # a blocking rendezvous send stalls the rank process itself —
+        # no phantom helper entry is reported for it
+        msg = str(err.value)
+        assert "rank0" in msg
+        assert "isend0" not in msg
+
+    def test_multiple_inflight_sends_counted(self):
+        big = EAGER_THRESHOLD_BYTES + 1
+        t = Trace.empty("t", 2)
+        t[0].append(PointToPoint(MPICall.ISEND, 1, big, tag=1))
+        t[0].append(PointToPoint(MPICall.ISEND, 1, big, tag=2))
+        t[0].append(PointToPoint(MPICall.WAITALL, 0, 0, 0))
+        with pytest.raises(SimulationError, match=r"isend0 \(rendezvous in flight x2\)"):
+            _run(t)
+
+
 class TestCollectives:
     @pytest.mark.parametrize("call", [
         MPICall.BARRIER, MPICall.BCAST, MPICall.REDUCE, MPICall.ALLREDUCE,
