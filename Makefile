@@ -15,11 +15,16 @@
 #   make topo-smoke   gate the topology sweep: one small cell per family
 #                     (fitted / torus / dragonfly / fattree2), each
 #                     verified fast == reference kernel
+#   make fault-smoke  gate the fault-injection sweep: one small faulted
+#                     cell per family (plus the clean control rows),
+#                     each verified fast == reference kernel under
+#                     faults — including identical partitions
 
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-full bench bench-smoke bench-record topo-smoke
+.PHONY: test test-fast test-full bench bench-smoke bench-record \
+	topo-smoke fault-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -42,4 +47,8 @@ bench-record:
 
 topo-smoke:
 	$(PY) -m repro.cli topo-sweep --apps alya --nranks 8 \
+		--iterations 6 --verify
+
+fault-smoke:
+	$(PY) -m repro.cli fault-sweep --apps alya --nranks 8 \
 		--iterations 6 --verify

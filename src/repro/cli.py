@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli gen --app alya --nranks 8 -o alya8.dim
     python -m repro.cli replay alya8.dim [--displacement 0.01]
     python -m repro.cli topo-sweep [--topologies fitted torus:n=2 ...]
+    python -m repro.cli fault-sweep [--verify] [--faults none faults:...]
     python -m repro.cli bench [--smoke] [--topology torus:n=2]
 
 Each subcommand prints the regenerated table/figure; ``--csv PATH``
@@ -27,10 +28,18 @@ processes; results are identical to the sequential run.  ``topo-sweep``
 replays paper workloads across topology families (``--topology`` /
 ``--topologies`` take spec strings like ``torus:k=4,n=2`` — the
 ``repro.network.topologies`` registry documents each family's
-parameters).  ``bench`` times
-the pipeline stages and writes ``BENCH_pipeline.json`` (schema 5:
-per-displacement managed replay detail plus the helper-spawn counter,
-asserted 0 on the fast kernel); with ``--smoke``
+parameters).  ``fault-sweep`` runs the pipeline across topology
+families with deterministic fault injection armed (``--faults`` takes
+spec strings like ``faults:seed=7,link_fail=0.15`` — see
+``repro.network.faults``); a genuinely partitioned fabric becomes a
+``partitioned`` row instead of killing the grid, ``--verify`` pins the
+fast kernel bit-for-bit against the reference under faults, and
+``--checkpoint PATH`` journals completed cells so an interrupted sweep
+resumes.  ``bench`` times
+the pipeline stages and writes ``BENCH_pipeline.json`` (schema 6:
+per-displacement managed replay detail, the helper-spawn counter
+(asserted 0 on the fast kernel) and the fault spec dimension); with
+``--smoke``
 it fails on a >3x slowdown against the recorded reference, and with
 ``--profile`` it captures both the baseline and the managed replay
 stages under cProfile, prints the
@@ -47,6 +56,7 @@ from typing import Sequence
 
 from .analysis import render_timeline
 from .experiments import (
+    format_fault_sweep,
     format_fig10,
     format_figure,
     format_table1,
@@ -54,6 +64,7 @@ from .experiments import (
     format_table4,
     format_topo_sweep,
     run_cell,
+    run_fault_sweep,
     run_fig10,
     run_figure,
     run_table1,
@@ -61,7 +72,7 @@ from .experiments import (
     run_table4,
     run_topo_sweep,
 )
-from .network import topology_help
+from .network import faults_help, topology_help
 from .workloads import APPLICATIONS
 
 
@@ -243,6 +254,34 @@ def _cmd_topo_sweep(args) -> None:
         )
 
 
+def _cmd_fault_sweep(args) -> None:
+    rows = run_fault_sweep(
+        apps=args.apps,
+        nranks_list=tuple(args.nranks),
+        topologies=args.topologies,
+        fault_specs=args.faults,
+        displacement=args.displacement,
+        iterations=args.iterations,
+        workers=args.workers,
+        verify=args.verify,
+        timeout_s=args.cell_timeout,
+        retries=args.cell_retries,
+        checkpoint=args.checkpoint,
+    )
+    print(format_fault_sweep(rows))
+    if args.verify:
+        print("[fast == reference kernel equality verified under faults "
+              "on every family]", file=sys.stderr)
+    if args.csv:
+        _write_csv(
+            args.csv,
+            ["topology", "faults", "app", "nranks", "status", "gt_us",
+             "savings_pct", "slowdown_pct", "events_applied", "reroutes",
+             "inflight_retries", "wake_timeouts", "detail"],
+            [r.cells() for r in rows],
+        )
+
+
 def _cmd_bench(args) -> None:
     from . import perf
 
@@ -257,11 +296,12 @@ def _cmd_bench(args) -> None:
             print("bench: --profile cannot be combined with --smoke "
                   "or --csv", file=sys.stderr)
             raise SystemExit(2)
-        profile_path = (perf.output_path(args.topology).parent
+        profile_path = (perf.output_path(args.topology, args.faults).parent
                         / "replay_profile.prof")
     result = perf.run_pipeline_benchmark(
         app=args.app, nranks=args.nranks, iterations=iterations,
         profile_path=profile_path, topology=args.topology,
+        faults=args.faults,
     )
     if args.profile:
         print(result.pop("profile_top"))
@@ -274,7 +314,7 @@ def _cmd_bench(args) -> None:
         print("[benchmark JSON not written: timings include cProfile "
               "overhead]", file=sys.stderr)
         return
-    out = perf.output_path(args.topology)
+    out = perf.output_path(args.topology, args.faults)
     perf.write_benchmark(result, out)
     print(f"[benchmark written to {out}]", file=sys.stderr)
     if args.csv:
@@ -285,7 +325,7 @@ def _cmd_bench(args) -> None:
         )
     if not args.smoke:
         return
-    ref_path = perf.reference_path(args.topology)
+    ref_path = perf.reference_path(args.topology, args.faults)
     if not ref_path.exists():
         perf.write_benchmark(result, ref_path)
         print(f"[no reference found; recorded {ref_path}]", file=sys.stderr)
@@ -303,6 +343,20 @@ def _cmd_bench(args) -> None:
           f"{perf.MAX_SLOWDOWN:.0f}x of the reference)")
 
 
+def _positive_int(raw: str) -> int:
+    """argparse type for counts that must be >= 1 (e.g. ``--workers``)."""
+
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {raw}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -314,9 +368,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--iterations", type=int, default=None,
                        help="trace length (default: REPRO_ITERATIONS or 40)")
         p.add_argument("--csv", default=None, help="also write CSV here")
-        p.add_argument("--workers", type=int, default=None,
-                       help="worker processes for per-rank planning passes "
-                            "and independent grid cells "
+        p.add_argument("--workers", type=_positive_int, default=None,
+                       help="worker processes (>= 1) for per-rank planning "
+                            "passes and independent grid cells; explicit "
+                            "value wins over the REPRO_WORKERS env var "
                             "(default: REPRO_WORKERS or 1)")
 
     def topology_option(p):
@@ -382,6 +437,40 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.set_defaults(func=_cmd_topo_sweep)
 
+    p = sub.add_parser(
+        "fault-sweep",
+        help="savings/slowdown vs fault rate x topology (deterministic "
+             "fault injection; partition-safe, crash/hang-proof grid)",
+    )
+    p.add_argument("--apps", nargs="*", default=None, choices=APPLICATIONS)
+    p.add_argument("--nranks", nargs="*", type=int, default=[8])
+    p.add_argument(
+        "--topologies", nargs="*", default=None,
+        help="topology specs 'family[:key=value,...]' (default: fitted + "
+             "torus + dragonfly + fattree2). Families: " + topology_help(),
+    )
+    p.add_argument(
+        "--faults", nargs="*", default=None,
+        help="fault specs (default: 'none' + a moderate schedule). "
+             "Grammar: " + faults_help(),
+    )
+    p.add_argument("--displacement", type=float, default=0.05)
+    p.add_argument("--verify", action="store_true",
+                   help="re-run every cell on the reference replay kernel "
+                        "and fail on any fast/reference divergence — "
+                        "including divergent partitions")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   help="per-cell wall-clock timeout in seconds "
+                        "(default: REPRO_CELL_TIMEOUT_S or none)")
+    p.add_argument("--cell-retries", type=int, default=None,
+                   help="re-attempts for crashed/stalled cells "
+                        "(default: REPRO_CELL_RETRIES or 2)")
+    p.add_argument("--checkpoint", default=None,
+                   help="journal file: completed cells are appended and a "
+                        "rerun resumes from it")
+    common(p)
+    p.set_defaults(func=_cmd_fault_sweep)
+
     p = sub.add_parser("timeline", help="Fig. 6 power-mode timeline")
     p.add_argument("--app", default="gromacs", choices=APPLICATIONS)
     p.add_argument("--nranks", type=int, default=16)
@@ -426,6 +515,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="capture the replay stages under cProfile, print "
                         "the top functions and dump the stats next to the "
                         "benchmark output")
+    p.add_argument("--faults", default="none",
+                   help="fault spec for the replay stages (default none; "
+                        "faulted benchmarks are written/compared "
+                        "separately from the clean reference). Grammar: "
+                        + faults_help())
     topology_option(p)
     common(p)
     p.set_defaults(func=_cmd_bench)

@@ -1,4 +1,4 @@
-"""Opt-in parallel rank execution for the planning-side passes.
+"""Opt-in parallel rank execution and crash/hang-proof cell fan-out.
 
 The mechanism's software side (gram formation + PPA + monitor) is a
 purely per-rank computation, so the planning pass and the GT sweep can
@@ -12,12 +12,25 @@ Determinism: ``parallel_map`` preserves input order, every worker runs
 the identical sequential code on one item, and no shared mutable state
 crosses the process boundary — parallel output is bit-for-bit equal to
 the sequential output (asserted by the replay property tests).
+
+:func:`run_resilient` is the hardened variant the experiment grids use:
+a worker that dies without raising (OOM kill, interpreter abort,
+``BrokenProcessPool``) or stalls past a per-item timeout produces a
+structured retry instead of hanging the whole grid, and after the retry
+budget is spent the item either falls back to an in-process run or
+surfaces as a :class:`CellExecutionError` naming the offending item.
+Deterministic worker exceptions (the item itself is bad) propagate
+unchanged on the first attempt — retrying them would just repeat the
+failure.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import pickle
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence, TypeVar
 
 _T = TypeVar("_T")
@@ -25,22 +38,77 @@ _R = TypeVar("_R")
 
 #: environment knob: number of worker processes for per-rank passes
 WORKERS_ENV = "REPRO_WORKERS"
+#: environment knob: per-cell wall-clock timeout (seconds) for grids
+CELL_TIMEOUT_ENV = "REPRO_CELL_TIMEOUT_S"
+#: environment knob: re-attempts after the first try for crashed/stalled
+#: cells
+CELL_RETRIES_ENV = "REPRO_CELL_RETRIES"
 
 
 def resolve_workers(workers: int | None = None) -> int:
-    """Explicit argument > ``REPRO_WORKERS`` env > sequential default."""
+    """Resolve the worker count: explicit > ``REPRO_WORKERS`` > 1.
+
+    Precedence: a non-None ``workers`` argument wins outright; otherwise
+    the ``REPRO_WORKERS`` environment variable (set by the CLI's
+    ``--workers`` flag) applies; otherwise sequential (1).  Zero or
+    negative values are rejected rather than silently clamped — a
+    caller asking for "0 workers" is a bug, not a request for
+    sequential execution.
+    """
 
     if workers is not None:
-        return max(1, int(workers))
+        n = int(workers)
+        if n < 1:
+            raise ValueError(
+                f"workers must be >= 1, got {workers!r} (use workers=None "
+                f"to defer to {WORKERS_ENV} or the sequential default)"
+            )
+        return n
     raw = os.environ.get(WORKERS_ENV, "").strip()
     if not raw:
         return 1
     try:
-        return max(1, int(raw))
+        n = int(raw)
     except ValueError:
         raise ValueError(
             f"{WORKERS_ENV} must be an integer, got {raw!r}"
         ) from None
+    if n < 1:
+        raise ValueError(f"{WORKERS_ENV} must be >= 1, got {raw!r}")
+    return n
+
+
+def _resolve_env_number(env: str, value, cast, minimum, what: str):
+    if value is not None:
+        v = cast(value)
+        if v < minimum:
+            raise ValueError(f"{what} must be >= {minimum}, got {value!r}")
+        return v
+    raw = os.environ.get(env, "").strip()
+    if not raw:
+        return None
+    try:
+        v = cast(raw)
+    except ValueError:
+        raise ValueError(f"{env} must be a number, got {raw!r}") from None
+    if v < minimum:
+        raise ValueError(f"{env} must be >= {minimum}, got {raw!r}")
+    return v
+
+
+def resolve_cell_timeout(timeout_s: float | None = None) -> float | None:
+    """Per-cell timeout: explicit > ``REPRO_CELL_TIMEOUT_S`` > None."""
+
+    return _resolve_env_number(
+        CELL_TIMEOUT_ENV, timeout_s, float, 0.001, "timeout_s"
+    )
+
+
+def resolve_cell_retries(retries: int | None = None) -> int:
+    """Cell retry budget: explicit > ``REPRO_CELL_RETRIES`` > 2."""
+
+    v = _resolve_env_number(CELL_RETRIES_ENV, retries, int, 0, "retries")
+    return 2 if v is None else v
 
 
 def parallel_map(
@@ -56,3 +124,219 @@ def parallel_map(
         return [fn(item) for item in items]
     with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
         return list(pool.map(fn, items))
+
+
+class CellExecutionError(RuntimeError):
+    """A grid item kept crashing or stalling after its retry budget.
+
+    ``kind`` is ``"crashed"`` (worker died without raising — OOM kill,
+    abort, broken pool) or ``"stalled"`` (exceeded the per-item
+    timeout); ``label`` names the item so a 300-cell grid failure is
+    actionable.
+    """
+
+    def __init__(self, label: str, kind: str, attempts: int, detail: str = ""):
+        self.label = label
+        self.kind = kind
+        self.attempts = attempts
+        self.detail = detail
+        msg = f"cell {label} {kind} in all {attempts} attempts"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+    def __reduce__(self):
+        return (
+            CellExecutionError,
+            (self.label, self.kind, self.attempts, self.detail),
+        )
+
+
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Kill the pool's worker processes so shutdown cannot block."""
+
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass
+
+
+def run_resilient(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    *,
+    workers: int = 1,
+    timeout_s: float | None = None,
+    retries: int = 2,
+    backoff_s: float = 0.25,
+    label: Callable[[_T], str] | None = None,
+    fallback: bool = True,
+    on_result: Callable[[int, _R], None] | None = None,
+) -> list[_R]:
+    """Order-preserving process fan-out that survives dying workers.
+
+    Like :func:`parallel_map` but each item gets up to ``1 + retries``
+    attempts, and three failure modes that would normally hang or
+    poison the whole grid become per-item events:
+
+    * **crash** — the worker process dies without raising (OOM kill,
+      SIGKILL, interpreter abort); surfaces as ``BrokenProcessPool`` or
+      a lost future and is retried in a fresh pool;
+    * **stall** — an item exceeds ``timeout_s`` wall-clock seconds; its
+      worker is terminated and the item retried;
+    * **exhaustion** — after the retry budget, ``fallback=True`` runs
+      the item in-process (sequential, no pool to kill it), else a
+      :class:`CellExecutionError` names the item.
+
+    A worker exception that *was* raised normally (bad item, assertion)
+    is deterministic and re-raised immediately, unchanged.  ``label``
+    renders an item for error messages; ``on_result`` observes each
+    ``(index, result)`` as it lands (checkpointing hook).  Results are
+    returned in input order.
+    """
+
+    items = list(items)
+    name = label or (lambda it: repr(it))
+
+    def _record(idx: int, value: _R) -> None:
+        results[idx] = value
+        if on_result is not None:
+            on_result(idx, value)
+
+    results: list = [None] * len(items)
+    if not items:
+        return results
+    if workers <= 1 or len(items) == 1:
+        for idx, item in enumerate(items):
+            _record(idx, fn(item))
+        return results
+
+    pending = list(range(len(items)))
+    attempts = [0] * len(items)
+    round_no = 0
+    while pending:
+        if round_no:
+            time.sleep(backoff_s * round_no)
+        round_no += 1
+        crashed: list[int] = []
+        stalled: list[int] = []
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+        try:
+            futures = {}
+            started = {}
+            for idx in pending:
+                attempts[idx] += 1
+                fut = pool.submit(fn, items[idx])
+                futures[fut] = idx
+                started[idx] = time.monotonic()
+            not_done = set(futures)
+            pool_broken = False
+            while not_done:
+                poll = 0.05 if timeout_s is not None else None
+                done, not_done = wait(
+                    not_done, timeout=poll, return_when=FIRST_COMPLETED
+                )
+                for fut in done:
+                    # keep draining the whole batch even after a broken
+                    # pool: futures that completed before the breakage
+                    # still hold results, and every co-batched casualty
+                    # must be marked crashed or it would never retry
+                    idx = futures[fut]
+                    try:
+                        _record(idx, fut.result())
+                    except BrokenProcessPool:
+                        # this worker (or a sibling sharing the broken
+                        # pool) died without raising
+                        pool_broken = True
+                        crashed.append(idx)
+                    except CellExecutionError:
+                        raise
+                    except Exception:
+                        # deterministic worker exception: the item
+                        # itself is bad; retrying cannot help
+                        _terminate_workers(pool)
+                        raise
+                if pool_broken:
+                    # every future still outstanding is lost with the pool
+                    crashed.extend(futures[f] for f in not_done)
+                    not_done = set()
+                    break
+                if timeout_s is not None and not_done:
+                    now = time.monotonic()
+                    timed_out = [
+                        fut for fut in not_done
+                        if not fut.done()
+                        and now - started[futures[fut]] > timeout_s
+                    ]
+                    if timed_out:
+                        # a stalled worker cannot be interrupted from
+                        # the outside; kill the whole pool and retry
+                        # everything unfinished in a fresh one
+                        stalled.extend(futures[f] for f in timed_out)
+                        crashed.extend(
+                            futures[f] for f in not_done
+                            if f not in timed_out
+                        )
+                        _terminate_workers(pool)
+                        not_done = set()
+        finally:
+            _terminate_workers(pool)
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        pending = []
+        for idx, kind in [(i, "crashed") for i in crashed] + [
+            (i, "stalled") for i in stalled
+        ]:
+            if attempts[idx] <= retries:
+                pending.append(idx)
+            elif fallback:
+                # last resort: run in-process; a deterministic crash
+                # will now surface as a real exception/abort in the
+                # parent, which beats silently dropping the cell
+                _record(idx, fn(items[idx]))
+            else:
+                raise CellExecutionError(
+                    name(items[idx]), kind, attempts[idx],
+                    detail=f"timeout_s={timeout_s}" if kind == "stalled"
+                    else "worker died without raising",
+                )
+        pending.sort()
+    return results
+
+
+class ResultJournal:
+    """Append-only pickle journal for partial grid results.
+
+    Each completed cell appends one ``(key, value)`` record; a rerun
+    loads the journal and serves completed cells without recomputing
+    them, so a grid that died 80% through resumes rather than restarts.
+    Torn trailing records (the process died mid-write) are tolerated
+    and dropped.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+
+    def load(self) -> dict:
+        out: dict = {}
+        try:
+            with open(self.path, "rb") as fh:
+                while True:
+                    try:
+                        key, value = pickle.load(fh)
+                    except EOFError:
+                        break
+                    except Exception:
+                        break  # torn trailing record: keep what we have
+                    out[key] = value
+        except FileNotFoundError:
+            pass
+        return out
+
+    def append(self, key, value) -> None:
+        with open(self.path, "ab") as fh:
+            pickle.dump((key, value), fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            os.fsync(fh.fileno())

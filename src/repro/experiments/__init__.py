@@ -13,6 +13,12 @@ from .common import (
     run_cells,
     table2_parameters,
 )
+from .fault_sweep import (
+    DEFAULT_FAULT_SPECS,
+    FaultSweepRow,
+    format_fault_sweep,
+    run_fault_sweep,
+)
 from .fig10 import Fig10Curve, format_fig10, run_fig10
 from .figs7_9 import (
     FIGURE_DISPLACEMENTS,
@@ -60,4 +66,8 @@ __all__ = [
     "TopoSweepRow",
     "format_topo_sweep",
     "run_topo_sweep",
+    "DEFAULT_FAULT_SPECS",
+    "FaultSweepRow",
+    "format_fault_sweep",
+    "run_fault_sweep",
 ]

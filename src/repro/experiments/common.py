@@ -60,6 +60,8 @@ Environment knobs:
 
 from __future__ import annotations
 
+import copy
+import multiprocessing
 import os
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -79,8 +81,16 @@ from ..core import (
     plan_trace_directives_shared,
     select_gt_detailed,
 )
-from ..concurrency import parallel_map, resolve_workers
+from ..concurrency import (
+    ResultJournal,
+    parallel_map,
+    resolve_cell_retries,
+    resolve_cell_timeout,
+    resolve_workers,
+    run_resilient,
+)
 from ..network.fabric import Fabric
+from ..network.faults import NO_FAULTS
 from ..network.topologies import DEFAULT_TOPOLOGY
 from ..power.states import WRPSParams
 from ..sim import (
@@ -166,26 +176,31 @@ def run_cell(
     use_cache: bool = True,
     topology: str = DEFAULT_TOPOLOGY,
     kernel: str = "fast",
+    faults: str = NO_FAULTS,
 ) -> CellResult:
     """Run the full pipeline for one cell (memoised).
 
     ``topology`` selects the fabric family (a spec string — see
     :mod:`repro.network.topologies`); ``kernel`` selects the replay
     implementation (every kernel is bit-for-bit identical, the knob
-    exists so sweeps can cross-check families against the reference).
-    Both are part of the cell's memo identity.
+    exists so sweeps can cross-check families against the reference);
+    ``faults`` arms fault injection (a spec string — see
+    :mod:`repro.network.faults`).  All three are part of the cell's
+    memo identity.
     """
 
     iters = iterations if iterations is not None else default_iterations()
     params = wrps or WRPSParams.paper()
     key = _cache_key(
         app, nranks, iters, seed, scaling, params, charge_overheads,
-        topology, kernel,
+        topology, kernel, faults,
     )
     cell = _CACHE.get(key) if use_cache else None
     if cell is None:
         trace = make_trace(app, nranks, iterations=iters, seed=seed, scaling=scaling)
-        replay_cfg = ReplayConfig(seed=seed, topology=topology, kernel=kernel)
+        replay_cfg = ReplayConfig(
+            seed=seed, topology=topology, kernel=kernel, faults=faults
+        )
         # one fabric per cell: construction and route compilation are
         # shared by the baseline and every managed replay (reset
         # between); one compiled program set likewise
@@ -235,7 +250,9 @@ def run_cell(
             cell.plan = plan_trace_directives_shared(
                 cell.baseline.event_logs, cfg
             )
-        replay_cfg = ReplayConfig(seed=seed, topology=topology, kernel=kernel)
+        replay_cfg = ReplayConfig(
+            seed=seed, topology=topology, kernel=kernel, faults=faults
+        )
         if cell.fabric is None:
             cell.fabric = fabric_for(nranks, replay_cfg)
         if cell.programs is None:
@@ -261,6 +278,7 @@ def run_cell(
                     "scaling": scaling,
                     "topology": topology,
                     "kernel": kernel,
+                    "faults": faults,
                     "displacement": disp,
                     "directives": directives,
                     "stats": stats,
@@ -311,6 +329,7 @@ def _cache_key(
     charge_overheads: bool,
     topology: str,
     kernel: str,
+    faults: str,
 ) -> tuple:
     """The cell memo key — the single definition shared by ``run_cell``
     and ``run_cells`` so the two can never drift apart.
@@ -318,13 +337,14 @@ def _cache_key(
     The full (frozen, hashable) WRPSParams is part of the identity: the
     cached plan's shutdown-timer filtering depends on t_deact_us too,
     so two calls differing in any WRPS field must not share a cell.
-    The topology spec and replay kernel are part of the identity too —
-    a torus baseline must never serve a fat-tree cell.
+    The topology spec, replay kernel and fault spec are part of the
+    identity too — a torus baseline must never serve a fat-tree cell,
+    nor a faulted baseline a clean one.
     """
 
     return (
         app, nranks, iters, seed, scaling, params, charge_overheads,
-        topology, kernel,
+        topology, kernel, faults,
     )
 
 
@@ -345,6 +365,7 @@ def _cell_cache_key(spec: dict) -> tuple:
         spec.get("charge_overheads", True),
         spec.get("topology", DEFAULT_TOPOLOGY),
         spec.get("kernel", "fast"),
+        spec.get("faults", NO_FAULTS),
     )
 
 
@@ -359,7 +380,10 @@ def _managed_replay_worker(job: dict) -> "ManagedResult":
     parallelism is disabled the same way ``_run_cell_worker`` does.
     """
 
-    os.environ["REPRO_WORKERS"] = "1"  # no nested pools inside a worker
+    if multiprocessing.parent_process() is not None:
+        # no nested pools inside a worker; guarded so the in-process
+        # fallback path of run_resilient cannot pollute the parent's env
+        os.environ["REPRO_WORKERS"] = "1"
     trace = make_trace(
         job["app"],
         job["nranks"],
@@ -368,7 +392,10 @@ def _managed_replay_worker(job: dict) -> "ManagedResult":
         scaling=job["scaling"],
     )
     cfg = ReplayConfig(
-        seed=job["seed"], topology=job["topology"], kernel=job["kernel"]
+        seed=job["seed"],
+        topology=job["topology"],
+        kernel=job["kernel"],
+        faults=job.get("faults", NO_FAULTS),
     )
     return replay_managed(
         trace,
@@ -393,17 +420,50 @@ def _run_cell_worker(spec: dict) -> CellResult:
     the cached cell for more displacements.
     """
 
-    os.environ[
-        "REPRO_WORKERS"
-    ] = "1"  # no nested pools inside a cell worker
+    if multiprocessing.parent_process() is not None:
+        # no nested pools inside a cell worker; guarded so the
+        # in-process fallback path cannot pollute the parent's env
+        os.environ["REPRO_WORKERS"] = "1"
     cell = run_cell(**spec)
     cell.fabric = None
     cell.programs = None
     return cell
 
 
+def _stripped(cell: CellResult) -> CellResult:
+    """A shallow copy without the heavy rebuild-on-demand fields, for
+    journaling/checkpointing."""
+
+    out = copy.copy(cell)
+    out.fabric = None
+    out.programs = None
+    return out
+
+
+def _cell_label(spec: dict) -> str:
+    """Human-readable cell identity for resilience error messages."""
+
+    parts = [f"{spec.get('app')}@{spec.get('nranks')}"]
+    topo = spec.get("topology", DEFAULT_TOPOLOGY)
+    if topo != DEFAULT_TOPOLOGY:
+        parts.append(topo)
+    faults = spec.get("faults", NO_FAULTS)
+    if faults != NO_FAULTS:
+        parts.append(faults)
+    if spec.get("kernel", "fast") != "fast":
+        parts.append(spec["kernel"])
+    return " ".join(parts)
+
+
 def run_cells(
-    specs: Sequence[dict], *, workers: int | None = None
+    specs: Sequence[dict],
+    *,
+    workers: int | None = None,
+    timeout_s: float | None = None,
+    retries: int | None = None,
+    checkpoint: str | None = None,
+    fallback: bool = True,
+    _worker=_run_cell_worker,
 ) -> list[CellResult]:
     """Run many independent (app, nranks) cells, possibly in parallel.
 
@@ -415,15 +475,49 @@ def run_cells(
     spec order and are merged into the parent cache deterministically,
     so a parallel figure grid is bit-for-bit identical to the serial
     one (each cell's pipeline is sequential and deterministic; the
-    fan-out only changes *where* a cell runs).  A cell that raises in a
-    worker propagates its exception to the caller — the pool never
-    swallows failures or hangs.
+    fan-out only changes *where* a cell runs).
+
+    The fan-out is crash/hang-proof (:func:`repro.concurrency.
+    run_resilient`): a worker that dies without raising (OOM kill,
+    ``BrokenProcessPool``) or stalls past ``timeout_s`` wall-clock
+    seconds (``REPRO_CELL_TIMEOUT_S``; default: no timeout) is retried
+    up to ``retries`` times (``REPRO_CELL_RETRIES``; default 2) in a
+    fresh pool, then falls back to an in-process run — or, with
+    ``fallback=False``, raises a structured
+    :class:`~repro.concurrency.CellExecutionError` naming the cell.  A
+    cell that raises a *deterministic* exception propagates it to the
+    caller unchanged, immediately.  ``checkpoint`` names a journal file
+    (:class:`~repro.concurrency.ResultJournal`): completed cells are
+    appended as they land and served without recomputation on a rerun,
+    so an interrupted grid resumes where it died.
+
+    ``_worker`` is a test seam (must be a module-level callable taking
+    one spec dict).
     """
 
     nworkers = resolve_workers(workers)
+    timeout = resolve_cell_timeout(timeout_s)
+    budget = resolve_cell_retries(retries)
     specs = [dict(spec) for spec in specs]
+    journal = ResultJournal(checkpoint) if checkpoint else None
+    if journal is not None:
+        for key, cell in journal.load().items():
+            # journalled cells were stripped before the append;
+            # run_cell rebuilds fabric/programs on demand
+            _CACHE.setdefault(key, cell)
     if nworkers <= 1:
-        return [run_cell(**spec) for spec in specs]
+        results = []
+        for spec in specs:
+            journalable = (
+                journal is not None
+                and spec.get("use_cache", True)
+                and _cell_cache_key(spec) not in _CACHE
+            )
+            cell = run_cell(**spec)
+            if journalable:
+                journal.append(_cell_cache_key(spec), _stripped(cell))
+            results.append(cell)
+        return results
     results: list[CellResult | None] = [None] * len(specs)
     remote: list[int] = []
     for i, spec in enumerate(specs):
@@ -434,14 +528,28 @@ def run_cells(
         else:
             remote.append(i)
     if len(remote) == 1:
-        # parallel_map runs single items in-process; the worker function
-        # mutates its process's environment and strips the heavy fields,
-        # so a lone cell must take the plain local path instead
+        # a lone uncached cell is cheaper run locally than through a
+        # one-worker pool (and keeps its fabric/programs)
         i = remote[0]
         results[i] = run_cell(**specs[i])
+        if journal is not None and specs[i].get("use_cache", True):
+            journal.append(_cell_cache_key(specs[i]), _stripped(results[i]))
     elif remote:
-        computed = parallel_map(
-            _run_cell_worker, [specs[i] for i in remote], nworkers
+        def _on_result(j: int, cell: CellResult) -> None:
+            if journal is not None and specs[remote[j]].get("use_cache", True):
+                journal.append(
+                    _cell_cache_key(specs[remote[j]]), _stripped(cell)
+                )
+
+        computed = run_resilient(
+            _worker,
+            [specs[i] for i in remote],
+            workers=nworkers,
+            timeout_s=timeout,
+            retries=budget,
+            label=_cell_label,
+            fallback=fallback,
+            on_result=_on_result,
         )
         for i, cell in zip(remote, computed):
             if specs[i].get("use_cache", True):

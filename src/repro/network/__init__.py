@@ -10,11 +10,24 @@ oversubscribed fat tree) behind the same fabric/routing stack.
 """
 
 from .fabric import Fabric, TransferTiming
+from .faults import (
+    NO_FAULTS,
+    FabricPartitioned,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    FaultSpecError,
+    FaultSummary,
+    compile_fault_plan,
+    faults_help,
+    parse_faults,
+)
 from .links import DirectedChannel, Link, LinkPowerMode
 from .routing import (
     DeterministicRouter,
     RandomRouter,
     Router,
+    failover_route,
     hop_count,
     host_subtree,
     lca_height,
@@ -43,12 +56,23 @@ from .topology import (
 __all__ = [
     "Fabric",
     "TransferTiming",
+    "NO_FAULTS",
+    "FabricPartitioned",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultSpecError",
+    "FaultSummary",
+    "compile_fault_plan",
+    "faults_help",
+    "parse_faults",
     "DirectedChannel",
     "Link",
     "LinkPowerMode",
     "DeterministicRouter",
     "RandomRouter",
     "Router",
+    "failover_route",
     "hop_count",
     "host_subtree",
     "lca_height",

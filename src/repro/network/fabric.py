@@ -45,6 +45,14 @@ from ..constants import (
     SEGMENT_SIZE_BYTES,
     SWITCH_HOP_LATENCY_US,
 )
+from .faults import (
+    FabricPartitioned,
+    FaultPlan,
+    FaultSpec,
+    FaultState,
+    compile_fault_plan,
+    parse_faults,
+)
 from .links import DirectedChannel, Link, LinkPowerMode
 from .routing import (
     DeterministicRouter,
@@ -126,6 +134,9 @@ class Fabric:
         #: switch-or-None, segment_time_us) hops, keyed src*H+dst
         self._hops: dict[int, tuple] = {}
         self._num_hosts = self.topo.num_hosts
+        #: active fault-injection state (None = healthy fabric); when
+        #: set, every transfer routes through the shared faulted kernel
+        self._faults: FaultState | None = None
 
     # -- construction helpers ----------------------------------------------
 
@@ -269,6 +280,10 @@ class Fabric:
         recorded on every traversed channel.
         """
 
+        if self._faults is not None:
+            return self._transfer_faulted(
+                src_host, dst_host, size_bytes, earliest_us, on_power_block
+            )
         if not self.use_fast_path:
             return self.transfer_reference(
                 src_host, dst_host, size_bytes, earliest_us,
@@ -357,6 +372,11 @@ class Fabric:
         with ``use_fast_path`` off it simply wraps the reference walk.
         """
 
+        if self._faults is not None:
+            t = self._transfer_faulted(
+                src_host, dst_host, size_bytes, earliest_us, on_power_block
+            )
+            return t.arrive_us, t.src_release_us
         if not self.use_fast_path:
             t = self.transfer_reference(
                 src_host, dst_host, size_bytes, earliest_us,
@@ -420,6 +440,12 @@ class Fabric:
         """Reference kernel: per-message route walk over the same static
         routes (the equivalence oracle for :meth:`transfer`)."""
 
+        if self._faults is not None:
+            # both kernels share one faulted implementation, so the
+            # fast == reference equality under faults is structural
+            return self._transfer_faulted(
+                src_host, dst_host, size_bytes, earliest_us, on_power_block
+            )
         if size_bytes < 0:
             raise ValueError("negative message size")
         self.messages_sent += 1
@@ -478,6 +504,175 @@ class Fabric:
             src_release_us=src_release,
         )
 
+    # -- fault injection -----------------------------------------------------
+
+    def install_faults(self, plan: "FaultPlan | FaultSpec | str") -> None:
+        """Arm the fabric with a fault plan (spec string / spec / plan).
+
+        Every subsequent transfer runs the shared faulted kernel, which
+        applies the plan's timed events lazily at the simulation clock
+        (see :mod:`repro.network.faults` for the determinism argument)
+        and handles failover, in-flight retries and partitions.
+        :meth:`reset` restores the fabric to pristine and disarms it.
+        """
+
+        if isinstance(plan, str):
+            spec = parse_faults(plan)
+            if spec is None:
+                self._faults = None
+                return
+            plan = spec
+        if isinstance(plan, FaultSpec):
+            plan = compile_fault_plan(plan, self)
+        self._faults = FaultState(plan)
+
+    def fault_summary(self):
+        """The active replay's :class:`~repro.network.faults.
+        FaultSummary`, or ``None`` on a healthy fabric."""
+
+        return None if self._faults is None else self._faults.summary()
+
+    def wake_fault_model(self):
+        """The plan's wake-timeout model for managed links (or None)."""
+
+        return None if self._faults is None else self._faults.plan.wake_model()
+
+    def _transfer_faulted(
+        self, src_host, dst_host, size_bytes, earliest_us, on_power_block
+    ) -> TransferTiming:
+        """The faulted transfer kernel, shared by fast and reference.
+
+        Always walks the resolved route live (compiled ``_hops`` bake
+        channel bandwidths, which degradation events change under our
+        feet), applying pending fault events up to the transfer clock
+        first.  A hop whose reservation window contains the link's
+        scheduled down time is cut at that instant (partial busy
+        interval) and the whole transfer retries after
+        ``retry_delay_us`` on a route excluding the dying link; earlier
+        hops keep their reservations — those bytes really transited.
+        ``depart`` is the first transmission attempt's start;
+        ``src_release`` is the successful attempt's first-hop drain.
+        """
+
+        state = self._faults
+        spec = state.plan.spec
+        if size_bytes < 0:
+            raise ValueError("negative message size")
+        self.messages_sent += 1
+        state.apply_until(self, earliest_us)
+        if src_host == dst_host:
+            arrive = earliest_us + self.mpi_latency_us
+            return TransferTiming(
+                earliest_us, arrive, self.mpi_latency_us, 0.0, 0, arrive
+            )
+
+        size = max(1, size_bytes)
+        head_ready = earliest_us + self.mpi_latency_us
+        hop_latency = self.hop_latency_us
+        full = LinkPowerMode.FULL
+        power_wait = 0.0
+        depart = None
+        src_release = None
+        exclude = None
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > 64:
+                raise RuntimeError(
+                    f"fault retry livelock: transfer {src_host}->"
+                    f"{dst_host} interrupted {attempts} times"
+                )
+            state.apply_until(self, head_ready)
+            t_applied = head_ready
+            try:
+                path, migrated = state.resolve_route(
+                    self, src_host, dst_host, head_ready, exclude
+                )
+            except FabricPartitioned:
+                heal = state.next_link_up(head_ready)
+                if heal is None:
+                    raise  # genuinely partitioned: no scheduled heal
+                # every surviving-candidate route is down but a flapped
+                # link heals later: stall until then and re-resolve
+                head_ready = heal + spec.retry_delay_us
+                exclude = None
+                continue
+            if migrated:
+                state.migration_wait_us += spec.reroute_penalty_us
+                head_ready += spec.reroute_penalty_us
+                t_applied = head_ready
+            retry_at = None
+            end = 0.0
+            hops = len(path) - 1
+            prev = path[0]
+            first_hop = True
+            for head in path[1:]:
+                link = self.links[
+                    (prev, head) if prev <= head else (head, prev)
+                ]
+                edge = (link.a, link.b)
+                if link.mode is not full:
+                    if on_power_block is not None:
+                        usable = on_power_block(link, head_ready)
+                    else:
+                        usable = link.ready_time(head_ready)
+                    if usable > head_ready:
+                        power_wait += usable - head_ready
+                        head_ready = usable
+                channel = link.channel(prev)
+                next_free = channel.next_free_us
+                start = next_free if next_free > head_ready else head_ready
+                bandwidth = channel.bandwidth_bytes_per_us
+                serial = size / bandwidth
+                end = start + serial
+                down = state.next_down(edge, t_applied, end)
+                if down is not None:
+                    # the link dies mid-reservation: cut the busy window
+                    # at the down instant and retry on another route
+                    if down > start:
+                        channel.next_free_us = down
+                        channel.busy_starts.append(start)
+                        channel.busy_ends.append(down)
+                        if first_hop and depart is None:
+                            depart = start
+                    state.inflight_retries += 1
+                    retry_at = down + spec.retry_delay_us
+                    exclude = edge
+                    break
+                channel.next_free_us = end
+                channel.bytes_carried += size
+                channel.busy_starts.append(start)
+                channel.busy_ends.append(end)
+                if first_hop:
+                    if depart is None:
+                        depart = start
+                    src_release = end
+                    first_hop = False
+                if not head.is_host:
+                    sw = self.switches[head]
+                    sw.messages_forwarded += 1
+                    sw.bytes_switched += size
+                seg_time = self.segment_bytes / bandwidth
+                head_ready = (
+                    start
+                    + (seg_time if seg_time < serial else serial)
+                    + hop_latency
+                )
+                prev = head
+            if retry_at is None:
+                break
+            head_ready = retry_at
+
+        assert depart is not None and src_release is not None
+        return TransferTiming(
+            depart_us=depart,
+            arrive_us=end,
+            wire_us=end - depart,
+            power_wait_us=power_wait,
+            hops=hops,
+            src_release_us=src_release,
+        )
+
     # -- analysis ------------------------------------------------------------
 
     def host_link_busy_logs(self) -> dict[int, list[tuple[float, float]]]:
@@ -515,6 +710,13 @@ class Fabric:
         replays.
         """
 
+        if self._faults is not None:
+            # undo fault-layer mutations (degraded channel bandwidths)
+            # BEFORE clearing: compiled hop tables bake the pristine
+            # bandwidths and must stay valid, and the fault-state audit
+            # (failed elements, overlays, counters) dies with the state
+            self._faults.restore(self)
+            self._faults = None
         for link in self.links.values():
             link.reset()
         for sw in self.switches.values():

@@ -283,6 +283,57 @@ class RouteTable:
         return route_with_chooser(self.topo, src_host, dst_host, chooser)
 
 
+def failover_route(
+    topo: Topology,
+    src_host: int,
+    dst_host: int,
+    *,
+    failed_links: frozenset | set = frozenset(),
+    failed_switches: frozenset | set = frozenset(),
+    seed: int | None = None,
+    salt: int = 0,
+) -> tuple[NodeId, ...] | None:
+    """A surviving minimal route around failed elements, or ``None``.
+
+    Filters the topology's deterministic candidate shortest-path set
+    (:meth:`~repro.network.topology.Topology.candidate_paths`) down to
+    paths avoiding ``failed_links`` (undirected edge keys) and
+    ``failed_switches`` (switch nodes), then draws one survivor from
+    ``(seed, src, dst, salt)`` — order-independent like the static
+    route table, with ``salt`` (the fault layer passes its reroute
+    epoch) decorrelating successive migrations of one pair.  ``seed``
+    ``None`` falls back to the d-mod-k deterministic choice.  Returns
+    ``None`` when the pair is genuinely partitioned (under minimal
+    routing — non-minimal detours are out of model).
+    """
+
+    survivors = []
+    for path in topo.candidate_paths(src_host, dst_host):
+        alive = True
+        for node in path[1:-1]:
+            if node in failed_switches:
+                alive = False
+                break
+        if alive:
+            for tail, head in zip(path, path[1:]):
+                key = (tail, head) if tail <= head else (head, tail)
+                if key in failed_links:
+                    alive = False
+                    break
+        if alive:
+            survivors.append(path)
+    if not survivors:
+        return None
+    if len(survivors) == 1:
+        return survivors[0]
+    if seed is None:
+        return survivors[dst_host % len(survivors)]
+    rng = np.random.default_rng(
+        (seed & 0xFFFFFFFFFFFFFFFF, src_host, dst_host, salt)
+    )
+    return survivors[int(rng.integers(len(survivors)))]
+
+
 def path_links(path: Sequence[NodeId]) -> list[tuple[NodeId, NodeId]]:
     """Directed (tail, head) pairs along a vertex path."""
 

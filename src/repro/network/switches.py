@@ -49,6 +49,13 @@ class Switch:
         self.messages_forwarded += 1
         self.bytes_switched += size_bytes
 
+    @property
+    def is_edge(self) -> bool:
+        """Whether any attached port is a host (HCA) link — edge
+        switches are excluded from interior fault targeting."""
+
+        return any(l.is_host_link for l in self.ports)
+
     def host_ports(self) -> list["Link"]:
         return [l for l in self.ports if l.is_host_link]
 

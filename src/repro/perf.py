@@ -9,7 +9,7 @@ stage (tolerant enough to absorb machine-to-machine noise, tight enough
 to catch an accidental return to per-candidate or per-displacement
 passes).
 
-Schema 5 mirrors the ``run_cell`` replay structure (one shared fabric
+Schema 6 mirrors the ``run_cell`` replay structure (one shared fabric
 and one compiled program set, reset/reused between replays) and times
 the replay pipeline of the compiled-program fast kernel: a
 ``program_compile_s`` stage for the trace -> opcode lowering, the
@@ -20,8 +20,11 @@ directive weave), and a
 ``baseline_replay_heap_s`` stage that re-runs the baseline on the heapq
 reference scheduler so the smoke gate covers *both* schedulers.  The
 config carries a **topology dimension** (``--topology``, any family
-spec from :mod:`repro.network.topologies`); timings recorded on one
-family never gate against a reference recorded on another.  A
+spec from :mod:`repro.network.topologies`) and a **fault dimension**
+(``--faults``, a spec from :mod:`repro.network.faults`; default
+``"none"`` keeps every existing reference number untouched); timings
+recorded on one (family, fault spec) pair never gate against a
+reference recorded on another.  A
 ``replay_detail`` section records the fast-kernel instrumentation:
 fabric build time, static-route pairs compiled and their compile time,
 the collective schedule-cache hit/miss counters, the compiled
@@ -43,6 +46,7 @@ for offline ``pstats``/``snakeviz`` digging.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
 import time
@@ -54,7 +58,7 @@ from .constants import DISPLACEMENT_FACTORS
 MAX_SLOWDOWN = 3.0
 
 #: benchmark schema version (bump when stages change incomparably)
-SCHEMA = 5
+SCHEMA = 6
 
 
 def _repo_root() -> pathlib.Path:
@@ -68,31 +72,34 @@ def _repo_root() -> pathlib.Path:
 
 
 def _topology_slug(topology: str) -> str:
-    """Filesystem-safe tag for a topology spec string."""
+    """Filesystem-safe tag for a topology (or fault) spec string."""
 
     return "".join(c if c.isalnum() else "-" for c in topology).strip("-")
 
 
-def reference_path(topology: str = "fitted") -> pathlib.Path:
-    """The smoke-gate reference for ``topology`` — one file per family
-    spec, so recording a torus reference never clobbers (or cross-gates
-    against) the default fitted one."""
+def _bench_name(topology: str, faults: str = "none") -> str:
+    """One file per (topology, faults) pair: recording a torus or a
+    faulted reference never clobbers (or cross-gates against) the
+    default clean fitted one."""
 
-    name = (
-        "BENCH_pipeline.json"
-        if topology == "fitted"
-        else f"BENCH_pipeline.{_topology_slug(topology)}.json"
-    )
-    return _repo_root() / "benchmarks" / name
+    name = "BENCH_pipeline"
+    if topology != "fitted":
+        name += f".{_topology_slug(topology)}"
+    if faults != "none":
+        name += f".{_topology_slug(faults)}"
+    return name + ".json"
 
 
-def output_path(topology: str = "fitted") -> pathlib.Path:
-    name = (
-        "BENCH_pipeline.json"
-        if topology == "fitted"
-        else f"BENCH_pipeline.{_topology_slug(topology)}.json"
-    )
-    return _repo_root() / "benchmarks" / "out" / name
+def reference_path(
+    topology: str = "fitted", faults: str = "none"
+) -> pathlib.Path:
+    """The smoke-gate reference for the (topology, faults) pair."""
+
+    return _repo_root() / "benchmarks" / _bench_name(topology, faults)
+
+
+def output_path(topology: str = "fitted", faults: str = "none") -> pathlib.Path:
+    return _repo_root() / "benchmarks" / "out" / _bench_name(topology, faults)
 
 
 class _ReplayProfiler:
@@ -139,14 +146,17 @@ def run_pipeline_benchmark(
     displacements: Sequence[float] = DISPLACEMENT_FACTORS,
     profile_path: pathlib.Path | str | None = None,
     topology: str = "fitted",
+    faults: str = "none",
 ) -> dict:
     """Time each pipeline stage once; returns the JSON-ready record.
 
     ``profile_path`` additionally runs the two replay stages under
     cProfile, dumps the stats there, and attaches the top functions to
     the returned record (``profile_top``).  ``topology`` selects the
-    fabric family (a spec string); it is part of the comparison key, so
-    per-family references never cross-gate.
+    fabric family (a spec string) and ``faults`` the fault-injection
+    schedule (``"none"`` keeps the replay fault-free); both are part of
+    the comparison key, so per-family and faulted references never
+    cross-gate against the clean ones.
     """
 
     from .concurrency import resolve_workers
@@ -166,8 +176,10 @@ def run_pipeline_benchmark(
 
     iters = iterations if iterations is not None else default_iterations()
     params = WRPSParams.paper()
-    replay_cfg = ReplayConfig(seed=seed, topology=topology)
-    heap_cfg = ReplayConfig(seed=seed, scheduler="heap", topology=topology)
+    replay_cfg = ReplayConfig(seed=seed, topology=topology, faults=faults)
+    heap_cfg = ReplayConfig(
+        seed=seed, scheduler="heap", topology=topology, faults=faults
+    )
     stages: dict[str, float] = {}
     # cold schedule cache: stage timings stay reproducible whatever ran
     # in this process before, and it also zeroes the process-cumulative
@@ -277,6 +289,7 @@ def run_pipeline_benchmark(
             "kernel": replay_cfg.kernel,
             "scheduler": replay_cfg.scheduler,
             "topology": topology,
+            "faults": faults,
             "selected_gt_us": selection.best.gt_us,
             "hit_rate_pct": selection.best.hit_rate_pct,
         },
@@ -294,6 +307,12 @@ def run_pipeline_benchmark(
             "helper_spawns": helper_spawns,
             # per-displacement managed stage timings (informational)
             "managed": managed_detail,
+            # fault-injection outcome of the baseline replay (None when
+            # faults are off — the clean schema is byte-stable)
+            "faults": (
+                None if baseline.faults is None
+                else dataclasses.asdict(baseline.faults)
+            ),
         },
     }
     if profile_path is not None:
@@ -363,6 +382,8 @@ def format_benchmark(result: Mapping) -> str:
         f"  selected GT {cfg['selected_gt_us']:.0f} us, "
         f"hit rate {cfg['hit_rate_pct']:.1f}%",
     ]
+    if cfg.get("faults", "none") != "none":
+        lines.append(f"  faults: {cfg['faults']}")
     for stage, seconds in result["stages"].items():
         lines.append(f"  {stage:22s} {seconds * 1e3:10.1f} ms")
     detail = result.get("replay_detail")

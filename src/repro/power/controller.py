@@ -45,6 +45,9 @@ class PowerEventCounters:
     late_reactivations: int = 0        # arrived mid-reactivation: partial
     total_penalty_us: float = 0.0
     skipped_too_short: int = 0
+    #: fault injection: reactivations that missed their t_react deadline
+    wake_timeouts: int = 0
+    wake_timeout_extra_us: float = 0.0
 
 
 @dataclass(slots=True)
@@ -58,12 +61,32 @@ class ManagedLink:
     #: scheduled end of the pending LOW window (timer fire time), if any
     _t_fire_us: float | None = None
     _t_deact_end_us: float = 0.0
+    #: fault injection: wake-timeout model + this link's draw key (its
+    #: host rank); None = reactivations always meet t_react (default)
+    wake_faults: "object | None" = None
+    wake_key: int = 0
+    #: the pending reactivation's spike, drawn once at shutdown time so
+    #: repeated _settle calls on one timer see a single consistent value
+    _pending_spike_us: float = 0.0
 
     @classmethod
-    def create(cls, link: Link, params: WRPSParams | None = None) -> "ManagedLink":
+    def create(
+        cls,
+        link: Link,
+        params: WRPSParams | None = None,
+        *,
+        wake_faults=None,
+        wake_key: int = 0,
+    ) -> "ManagedLink":
         p = params or WRPSParams.paper()
         link.t_react_us = p.t_react_us
-        return cls(link=link, params=p, account=LinkEnergyAccount(p))
+        return cls(
+            link=link,
+            params=p,
+            account=LinkEnergyAccount(p),
+            wake_faults=wake_faults,
+            wake_key=wake_key,
+        )
 
     # -- runtime-facing API ----------------------------------------------------
 
@@ -97,6 +120,12 @@ class ManagedLink:
         self.link.mode = LinkPowerMode.LOW
         self._t_fire_us = t_fire
         self._t_deact_end_us = t_low
+        if self.wake_faults is not None:
+            # drawn once per shutdown (keyed on the shutdown ordinal) so
+            # every path that completes this reactivation sees one value
+            self._pending_spike_us = self.wake_faults.spike(
+                self.wake_key, self.counters.shutdowns
+            )
         self.counters.shutdowns += 1
         return True
 
@@ -118,7 +147,7 @@ class ManagedLink:
             # flight ([t_off, t_off+t_deact)), the reactivation can only
             # start once the lanes have finished powering down.
             start = max(t_us, self._t_deact_end_us)
-            ready = start + self.params.t_react_us
+            ready = start + self.params.t_react_us + self._consume_spike()
             self.account.switch_mode(start, LinkPowerMode.TRANSITION)
             self.account.switch_mode(ready, LinkPowerMode.FULL)
             self.link.mode = LinkPowerMode.FULL
@@ -152,7 +181,7 @@ class ManagedLink:
         if self._t_fire_us is None:
             return
         t_fire = self._t_fire_us
-        t_full = t_fire + self.params.t_react_us
+        t_full = t_fire + self.params.t_react_us + self._pending_spike_us
         if t_us >= t_fire:
             # the timer fired: reactivation runs [t_fire, t_fire + T_react)
             self.account.switch_mode(t_fire, LinkPowerMode.TRANSITION)
@@ -161,6 +190,17 @@ class ManagedLink:
                 self.link.mode = LinkPowerMode.FULL
                 self._t_fire_us = None
                 self.counters.timer_reactivations += 1
+                self._consume_spike()
             else:
                 self.link.mode = LinkPowerMode.TRANSITION
                 self.link.reactivation_done_us = t_full
+
+    def _consume_spike(self) -> float:
+        """Account the pending wake-timeout spike (fault injection)."""
+
+        spike = self._pending_spike_us
+        if spike > 0.0:
+            self.counters.wake_timeouts += 1
+            self.counters.wake_timeout_extra_us += spike
+            self._pending_spike_us = 0.0
+        return spike

@@ -74,6 +74,7 @@ Every (kernel, scheduler) combination is pinned bit-for-bit to the
 (``tests/sim/test_differential_kernels.py``).
 """
 
+from ..network.faults import FabricPartitioned, FaultSummary
 from .dimemas import (
     KERNELS,
     ReplayConfig,
@@ -95,6 +96,8 @@ from .venus import (
 __all__ = [
     "KERNELS",
     "SCHEDULERS",
+    "FabricPartitioned",
+    "FaultSummary",
     "ReplayConfig",
     "fabric_for",
     "replay_baseline",

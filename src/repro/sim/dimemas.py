@@ -17,11 +17,13 @@ traces after applying the PPA.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..constants import EAGER_THRESHOLD_BYTES
 from ..network.fabric import Fabric
+from ..network.faults import NO_FAULTS, FabricPartitioned, parse_faults
 from ..network.links import Link, LinkPowerMode
 from ..network.topologies import DEFAULT_TOPOLOGY, parse_topology
 from ..power.controller import ManagedLink
@@ -69,6 +71,11 @@ class ReplayConfig:
     kernel: str = "fast"
     scheduler: str = "calendar"
     topology: str = DEFAULT_TOPOLOGY
+    #: fault spec string (``"none"`` or ``"faults:seed=7,link_fail=..."``
+    #: — see :mod:`repro.network.faults`); the compiled fault schedule is
+    #: a pure function of (seed, topology, spec), so every kernel and
+    #: scheduler sees the identical fault timeline
+    faults: str = NO_FAULTS
 
     def __post_init__(self) -> None:
         if self.kernel not in KERNELS:
@@ -83,6 +90,8 @@ class ReplayConfig:
         # fail fast on a typo'd family/parameter string; the topology
         # itself is built lazily per fabric
         parse_topology(self.topology)
+        # same fail-fast for the fault spec (plan compiled per fabric)
+        parse_faults(self.faults)
 
 
 def fabric_for(nranks: int, config: ReplayConfig | None = None) -> Fabric:
@@ -168,6 +177,9 @@ def _build_world(
             )
         fabric.reset()
     fabric.use_fast_path = config.kernel != "reference"
+    spec = parse_faults(config.faults)
+    if spec is not None and spec.active:
+        fabric.install_faults(spec)
     world = MPIWorld(
         engine,
         fabric,
@@ -210,7 +222,7 @@ def replay_baseline(
                 world.rank_program(proc.rank, proc.records),
                 name=f"rank{proc.rank}",
             )
-    exec_time = engine.run()
+    exec_time = _run_engine(engine)
     return BaselineResult(
         trace_name=trace.name,
         nranks=trace.nranks,
@@ -219,6 +231,7 @@ def replay_baseline(
         messages_sent=fabric.messages_sent,
         bytes_carried=fabric.total_bytes_carried(),
         helper_spawns=world.helper_spawns,
+        faults=fabric.fault_summary(),
     )
 
 
@@ -269,9 +282,12 @@ def replay_managed(
     )
 
     rank_links: list[ManagedLink] = []
+    wake_faults = fabric.wake_fault_model()
     for rank in range(trace.nranks):
         link = fabric.host_link(rank)
-        ml = ManagedLink.create(link, params)
+        ml = ManagedLink.create(
+            link, params, wake_faults=wake_faults, wake_key=rank
+        )
         managed[id(link)] = ml
         rank_links.append(ml)
 
@@ -316,12 +332,24 @@ def replay_managed(
                 ),
                 name=f"rank{proc.rank}",
             )
-    exec_time = engine.run()
+    exec_time = _run_engine(engine)
 
     for ml in rank_links:
         ml.finish(exec_time)
     report = aggregate([ml.account for ml in rank_links], exec_time)
     accounts = [ml.account for ml in rank_links]
+
+    fault_summary = fabric.fault_summary()
+    if fault_summary is not None:
+        # fold the wake-timeout spikes (consumed inside the managed
+        # links, invisible to the fabric) into the replay's summary
+        fault_summary = dataclasses.replace(
+            fault_summary,
+            wake_timeouts=sum(ml.counters.wake_timeouts for ml in rank_links),
+            wake_timeout_extra_us=sum(
+                ml.counters.wake_timeout_extra_us for ml in rank_links
+            ),
+        )
 
     return ManagedResult(
         trace_name=trace.name,
@@ -340,4 +368,20 @@ def replay_managed(
             fabric, accounts, link_savings_pct=report.per_link_savings_pct
         ),
         helper_spawns=world.helper_spawns,
+        faults=fault_summary,
     )
+
+
+def _run_engine(engine: Engine) -> float:
+    """Run to completion; a partition surfaces with the blocked ranks.
+
+    :class:`FabricPartitioned` unwinds from inside a transfer with the
+    fault timeline attached; enriching it here with the engine's blocked
+    processes turns "the run died" into a readable report on both
+    kernels, within bounded simulated time (no wall-clock hang).
+    """
+
+    try:
+        return engine.run()
+    except FabricPartitioned as exc:
+        raise exc.with_blocked(engine.blocked_names()) from None

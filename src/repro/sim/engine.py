@@ -474,11 +474,19 @@ class Engine:
                     break
             cursor = 0
 
+    def blocked_names(self) -> list[str]:
+        """Names of processes still blocked, plus any processless
+        in-flight work registered via ``blocked_reporter`` — the
+        blocked-rank report for deadlock and partition errors."""
+
+        blocked = [p.name for p in self._processes if not p.done]
+        if self.blocked_reporter is not None:
+            blocked.extend(self.blocked_reporter())
+        return blocked
+
     def _check_deadlock(self) -> None:
         if self._active > 0:
-            blocked = [p.name for p in self._processes if not p.done]
-            if self.blocked_reporter is not None:
-                blocked.extend(self.blocked_reporter())
+            blocked = self.blocked_names()
             raise SimulationError(
                 f"deadlock: {self._active} process(es) still blocked: "
                 + ", ".join(blocked[:8])

@@ -27,6 +27,9 @@ class BaselineResult:
     #: 0 since the zero-spawn rendezvous/irecv refactor (the bench and
     #: regression tests assert on it)
     helper_spawns: int = 0
+    #: :class:`repro.network.faults.FaultSummary` when fault injection
+    #: was armed for this replay, else None
+    faults: object | None = None
 
     def rank_gaps(self, rank: int) -> np.ndarray:
         return np.asarray(idle_gaps(self.event_logs[rank]), dtype=np.float64)
@@ -74,6 +77,10 @@ class ManagedResult:
     #: 0 since the zero-spawn rendezvous/irecv refactor (the bench and
     #: regression tests assert on it)
     helper_spawns: int = 0
+    #: :class:`repro.network.faults.FaultSummary` when fault injection
+    #: was armed for this replay (wake-timeout counters folded in), else
+    #: None
+    faults: object | None = None
 
     @property
     def fleet_switch_savings_pct(self) -> float:

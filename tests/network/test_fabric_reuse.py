@@ -157,3 +157,34 @@ class TestBackToBackReplays:
 
         again = replay_baseline(trace, cfg, fabric=fabric)
         assert again == reference
+
+    def test_faulted_back_to_back_equals_fresh(self):
+        """Fault injection is per-run state too: reset() must restore
+        degraded bandwidths and disarm the fault layer, so replaying the
+        same faulted config back-to-back on one fabric equals a fresh
+        fabric — fault summaries included."""
+
+        trace = ring_trace(nranks=6, iterations=6)
+        cfg = ReplayConfig(
+            seed=11,
+            faults=(
+                "faults:seed=7,link_fail=0.3,flap=0.3,degrade=0.3,"
+                "horizon_us=2000"
+            ),
+        )
+
+        shared = fabric_for(trace.nranks, cfg)
+        first = replay_baseline(trace, cfg, fabric=shared)
+        second = replay_baseline(trace, cfg, fabric=shared)
+        fresh = replay_baseline(trace, cfg, fabric=fabric_for(trace.nranks, cfg))
+
+        assert first.faults is not None
+        assert first.faults.events_applied > 0  # the spec actually fired
+        assert first == second == fresh
+
+        # and a clean replay right after a faulted one sees no residue
+        clean_cfg = ReplayConfig(seed=11)
+        after = replay_baseline(trace, clean_cfg, fabric=shared)
+        pristine = replay_baseline(trace, clean_cfg)
+        assert after.faults is None
+        assert after == pristine

@@ -1,0 +1,200 @@
+"""Fabric-level fault behaviour: failover, degradation, in-flight cuts.
+
+Uses hand-built :meth:`FaultPlan.from_events` plans so each scenario
+pins exact fault timing against a known static route.
+"""
+
+import pytest
+
+from repro.network.fabric import Fabric
+from repro.network.faults import (
+    DEGRADE,
+    LINK_DOWN,
+    LINK_UP,
+    RESTORE,
+    FabricPartitioned,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+def edge_key(a, b):
+    return (a, b) if a <= b else (b, a)
+
+
+def path_edges(path):
+    return [edge_key(t, h) for t, h in zip(path, path[1:])]
+
+
+def make_fabric():
+    return Fabric.for_ranks(16, seed=3, hosts_per_leaf=4)
+
+
+def trunk_edges_of(fab, src, dst):
+    """Trunk (non-HCA) edge keys along the static route of (src, dst)."""
+
+    return [
+        key
+        for key in path_edges(fab.routes.path(src, dst))
+        if not fab.links[key].is_host_link
+    ]
+
+
+SRC, DST = 0, 5  # cross-leaf pair on the 4-hosts-per-leaf fabric
+SIZE = 1 << 20   # ~210us of serialisation per hop: room to cut mid-flight
+
+
+class TestFailover:
+    def test_reroute_after_link_down(self):
+        fab = make_fabric()
+        victim = trunk_edges_of(fab, SRC, DST)[0]
+        spec = FaultSpec(seed=1)
+        fab.install_faults(
+            FaultPlan.from_events(spec, [FaultEvent(1.0, LINK_DOWN, victim)])
+        )
+        timing = fab.transfer(SRC, DST, 4096, 5.0)
+        summary = fab.fault_summary()
+        assert summary.link_downs == 1
+        assert summary.reroutes == 1
+        assert summary.migration_wait_us == spec.reroute_penalty_us
+        # the migration penalty delays the first transmission
+        assert timing.depart_us >= 5.0 + spec.reroute_penalty_us
+        # the rerouted path avoids the dead link entirely
+        assert not fab.links[victim].forward.busy_starts
+        assert not fab.links[victim].backward.busy_starts
+
+    def test_overlay_reused_on_second_transfer(self):
+        fab = make_fabric()
+        victim = trunk_edges_of(fab, SRC, DST)[0]
+        fab.install_faults(
+            FaultPlan.from_events(
+                FaultSpec(seed=1), [FaultEvent(1.0, LINK_DOWN, victim)]
+            )
+        )
+        fab.transfer(SRC, DST, 4096, 5.0)
+        fab.transfer(SRC, DST, 4096, 500.0)
+        # one migration: the second transfer rides the cached overlay
+        assert fab.fault_summary().reroutes == 1
+        assert fab.fault_summary().migration_wait_us == 50.0
+
+
+class TestDegradation:
+    def test_degrade_slows_then_restore_heals(self):
+        clean = make_fabric()
+        ref = clean.transfer(SRC, DST, SIZE, 20.0)
+
+        degraded = make_fabric()
+        victim = trunk_edges_of(degraded, SRC, DST)[0]
+        events = [
+            FaultEvent(1.0, DEGRADE, victim, factor=0.25),
+            FaultEvent(10.0, RESTORE, victim),
+        ]
+        degraded.install_faults(
+            FaultPlan.from_events(FaultSpec(seed=1), events[:1])
+        )
+        slow = degraded.transfer(SRC, DST, SIZE, 20.0)
+        assert slow.wire_us > ref.wire_us
+        assert degraded.fault_summary().degrades == 1
+
+        healed = make_fabric()
+        healed.install_faults(
+            FaultPlan.from_events(FaultSpec(seed=1), events)
+        )
+        back = healed.transfer(SRC, DST, SIZE, 20.0)
+        # restore returns the exact pristine timing (same arithmetic)
+        assert back == ref
+
+
+class TestInflightRetry:
+    def test_mid_reservation_cut_retries_on_new_route(self):
+        fab = make_fabric()
+        victim = trunk_edges_of(fab, SRC, DST)[0]
+        spec = FaultSpec(seed=1)
+        fab.install_faults(
+            FaultPlan.from_events(
+                spec, [FaultEvent(100.0, LINK_DOWN, victim)]
+            )
+        )
+        timing = fab.transfer(SRC, DST, SIZE, 0.0)
+        summary = fab.fault_summary()
+        assert summary.inflight_retries == 1
+        assert summary.reroutes == 1  # the retry migrates off the dead link
+        # the interrupted hop keeps a partial busy window cut at the
+        # down instant — those bytes really transited
+        link = fab.links[victim]
+        partial_ends = link.forward.busy_ends + link.backward.busy_ends
+        assert partial_ends == [100.0]
+        # the retry restarts after the back-off, so arrival is later than
+        # an uninterrupted transfer of the same message
+        ref = make_fabric().transfer(SRC, DST, SIZE, 0.0)
+        assert timing.arrive_us > ref.arrive_us
+        assert timing.depart_us == ref.depart_us  # first attempt's start
+
+
+class TestPartition:
+    def test_no_surviving_route_raises_structured_error(self):
+        fab = make_fabric()
+        events = [
+            FaultEvent(1.0, LINK_DOWN, key) for key in sorted(fab.links)
+        ]
+        fab.install_faults(FaultPlan.from_events(FaultSpec(seed=1), events))
+        with pytest.raises(FabricPartitioned) as excinfo:
+            fab.transfer(SRC, DST, 4096, 2.0)
+        exc = excinfo.value
+        assert (exc.src_host, exc.dst_host) == (SRC, DST)
+        assert exc.t_us >= 2.0
+        assert exc.timeline  # carries the applied fault history
+        assert "no surviving route" in str(exc)
+
+    def test_scheduled_heal_stalls_instead_of_partitioning(self):
+        fab = make_fabric()
+        trunks = [
+            key for key, l in fab.links.items() if not l.is_host_link
+        ]
+        events = [FaultEvent(1.0, LINK_DOWN, k) for k in trunks]
+        events += [FaultEvent(50.0, LINK_UP, k) for k in trunks]
+        spec = FaultSpec(seed=1)
+        fab.install_faults(FaultPlan.from_events(spec, events))
+        timing = fab.transfer(SRC, DST, 4096, 2.0)
+        # every candidate route was down but a heal was scheduled: the
+        # transfer stalls until the heal plus the retry back-off
+        assert timing.depart_us >= 50.0 + spec.retry_delay_us
+        summary = fab.fault_summary()
+        assert summary.link_ups == len(trunks)
+        assert summary.link_downs == len(trunks)
+
+
+class TestResetRestoresPristine:
+    def test_reset_after_faulted_run_equals_fresh(self):
+        fab = make_fabric()
+        victim = trunk_edges_of(fab, SRC, DST)[0]
+        pristine_bw = {
+            key: (l.forward.bandwidth_bytes_per_us,
+                  l.backward.bandwidth_bytes_per_us)
+            for key, l in fab.links.items()
+        }
+        fab.install_faults(
+            FaultPlan.from_events(
+                FaultSpec(seed=1),
+                [
+                    FaultEvent(1.0, DEGRADE, victim, factor=0.25),
+                    FaultEvent(150.0, LINK_DOWN, victim),
+                ],
+            )
+        )
+        fab.transfer(SRC, DST, SIZE, 20.0)
+        fab.transfer(SRC, DST, 4096, 400.0)
+        assert fab.fault_summary().events_applied >= 2
+
+        fab.reset()
+        assert fab.fault_summary() is None
+        for key, link in fab.links.items():
+            assert (
+                link.forward.bandwidth_bytes_per_us,
+                link.backward.bandwidth_bytes_per_us,
+            ) == pristine_bw[key]
+        # the disarmed fabric times transfers exactly like a fresh one
+        assert fab.transfer(SRC, DST, SIZE, 20.0) == (
+            make_fabric().transfer(SRC, DST, SIZE, 20.0)
+        )
