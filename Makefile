@@ -19,12 +19,16 @@
 #                     cell per family (plus the clean control rows),
 #                     each verified fast == reference kernel under
 #                     faults — including identical partitions
+#   make cluster-smoke gate the multi-job cluster sweep: small job
+#                     streams x placements x (fitted, torus), each cell
+#                     verified (fast, calendar) == (reference, heap)
+#                     bit-for-bit plus the per-job energy-sum invariant
 
 PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast test-full bench bench-smoke bench-record \
-	topo-smoke fault-smoke
+	topo-smoke fault-smoke cluster-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -52,3 +56,6 @@ topo-smoke:
 fault-smoke:
 	$(PY) -m repro.cli fault-sweep --apps alya --nranks 8 \
 		--iterations 6 --verify
+
+cluster-smoke:
+	$(PY) -m repro.cli cluster-sweep --iterations 6 --verify

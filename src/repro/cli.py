@@ -13,6 +13,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli replay alya8.dim [--displacement 0.01]
     python -m repro.cli topo-sweep [--topologies fitted torus:n=2 ...]
     python -m repro.cli fault-sweep [--verify] [--faults none faults:...]
+    python -m repro.cli cluster-sweep [--verify] [--jobs poisson:n=3,...]
     python -m repro.cli bench [--smoke] [--topology torus:n=2]
 
 Each subcommand prints the regenerated table/figure; ``--csv PATH``
@@ -35,7 +36,15 @@ spec strings like ``faults:seed=7,link_fail=0.15`` — see
 ``partitioned`` row instead of killing the grid, ``--verify`` pins the
 fast kernel bit-for-bit against the reference under faults, and
 ``--checkpoint PATH`` journals completed cells so an interrupted sweep
-resumes.  ``bench`` times
+resumes.  ``cluster-sweep`` admits multi-job streams onto one shared
+fabric per cell (``--jobs`` takes job-stream specs like
+``poisson:n=3,mean_gap_us=1500,seed=3`` — see ``repro.cluster.jobs`` —
+and ``--placements`` picks host-placement policies) and reports
+per-tenant savings plus each job's slowdown against its own isolated
+run; ``--verify`` additionally pins the (fast kernel, calendar queue)
+cluster replay bit-for-bit against (reference, heap) and checks that
+per-job attributed link energies sum to the fabric-level total.
+``bench`` times
 the pipeline stages and writes ``BENCH_pipeline.json`` (schema 6:
 per-displacement managed replay detail, the helper-spawn counter
 (asserted 0 on the fast kernel) and the fault spec dimension); with
@@ -55,7 +64,9 @@ import sys
 from typing import Sequence
 
 from .analysis import render_timeline
+from .cluster import PLACEMENT_POLICIES, jobs_help
 from .experiments import (
+    format_cluster_sweep,
     format_fault_sweep,
     format_fig10,
     format_figure,
@@ -64,6 +75,7 @@ from .experiments import (
     format_table4,
     format_topo_sweep,
     run_cell,
+    run_cluster_sweep,
     run_fault_sweep,
     run_fig10,
     run_figure,
@@ -282,6 +294,37 @@ def _cmd_fault_sweep(args) -> None:
         )
 
 
+def _cmd_cluster_sweep(args) -> None:
+    rows = run_cluster_sweep(
+        job_streams=args.jobs,
+        placements=args.placements,
+        topologies=args.topologies,
+        num_hosts=args.num_hosts,
+        displacement=args.displacement,
+        iterations=args.iterations,
+        faults=args.faults,
+        workers=args.workers,
+        verify=args.verify,
+        timeout_s=args.cell_timeout,
+        retries=args.cell_retries,
+        checkpoint=args.checkpoint,
+    )
+    print(format_cluster_sweep(rows))
+    if args.verify:
+        print("[fast/calendar == reference/heap cluster equality verified; "
+              "per-job energy rollups sum to the fabric total]",
+              file=sys.stderr)
+    if args.csv:
+        _write_csv(
+            args.csv,
+            ["topology", "jobs", "placement", "status", "njobs",
+             "num_hosts", "makespan_us", "mean_savings_pct",
+             "mean_slowdown_pct", "mean_queue_wait_us",
+             "energy_mismatch_us", "wake_timeouts", "detail"],
+            [r.cells() for r in rows],
+        )
+
+
 def _cmd_bench(args) -> None:
     from . import perf
 
@@ -470,6 +513,51 @@ def build_parser() -> argparse.ArgumentParser:
                         "rerun resumes from it")
     common(p)
     p.set_defaults(func=_cmd_fault_sweep)
+
+    p = sub.add_parser(
+        "cluster-sweep",
+        help="multi-job streams on one shared fabric: per-tenant savings "
+             "and slowdown-vs-isolated x placement x topology",
+    )
+    p.add_argument(
+        "--jobs", nargs="*", default=None,
+        help="job-stream specs (default: a static pair + a two-tenant "
+             "Poisson mix). Grammar: " + jobs_help(),
+    )
+    p.add_argument(
+        "--placements", nargs="*", default=None,
+        choices=PLACEMENT_POLICIES,
+        help="host-placement policies (default: packed + spread)",
+    )
+    p.add_argument(
+        "--topologies", nargs="*", default=None,
+        help="topology specs 'family[:key=value,...]' (default: fitted + "
+             "torus). Families: " + topology_help(),
+    )
+    p.add_argument("--num-hosts", type=int, default=None,
+                   help="shared-fabric host count (default: every job at "
+                        "once when the family allows, else the family's "
+                        "natural size — the FCFS queue absorbs overflow)")
+    p.add_argument("--displacement", type=float, default=0.05)
+    p.add_argument("--faults", default="none",
+                   help="fault spec armed on the shared fabric "
+                        "(isolated references stay pristine). Grammar: "
+                        + faults_help())
+    p.add_argument("--verify", action="store_true",
+                   help="re-run every cell on the (reference kernel, heap "
+                        "scheduler) axes, fail on any divergence, and "
+                        "check the per-job energy-sum invariant")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   help="per-cell wall-clock timeout in seconds "
+                        "(default: REPRO_CELL_TIMEOUT_S or none)")
+    p.add_argument("--cell-retries", type=int, default=None,
+                   help="re-attempts for crashed/stalled cells "
+                        "(default: REPRO_CELL_RETRIES or 2)")
+    p.add_argument("--checkpoint", default=None,
+                   help="journal file: completed cells are appended and a "
+                        "rerun resumes from it")
+    common(p)
+    p.set_defaults(func=_cmd_cluster_sweep)
 
     p = sub.add_parser("timeline", help="Fig. 6 power-mode timeline")
     p.add_argument("--app", default="gromacs", choices=APPLICATIONS)

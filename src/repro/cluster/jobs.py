@@ -1,0 +1,329 @@
+"""Job streams: the workload arrival side of the multi-job cluster layer.
+
+A :class:`Job` is one application run submitted to the shared fabric:
+which workload, how many ranks, when it arrives, and which tenant pays
+for it.  Streams are described by a **job-stream spec string** in the
+same ``kind:key=value,...`` grammar the topology and fault subsystems
+use, so the CLI and the sweep drivers compose the three axes uniformly:
+
+``static:n=2,gap_us=2000,apps=alya|gromacs,ranks=8|8,tenants=2``
+    ``n`` jobs, evenly spaced ``gap_us`` apart starting at ``start_us``.
+``poisson:n=4,mean_gap_us=2000,seed=7,apps=alya,ranks=8``
+    a Poisson arrival process: inter-arrival gaps drawn from
+    Exp(1/``mean_gap_us``) with :class:`random.Random`(``seed``).
+``diurnal:n=6,mean_gap_us=2000,period_us=16000,peak=4,seed=7``
+    a non-homogeneous Poisson process whose rate swings sinusoidally
+    between the base rate ``1/mean_gap_us`` (trough, at t=0) and
+    ``peak/mean_gap_us`` over each ``period_us`` — the day/night load
+    shape — realised by Lewis–Shedler thinning.
+``list:jobs=alya@8|gromacs@8@4000@acme``
+    an explicit list, entries ``app@nranks[@arrival_us[@tenant]]``.
+
+``apps`` and ``ranks`` are ``|``-separated cycles assigned round-robin
+over the stream; ``tenants=K`` assigns tenants ``t0..t(K-1)`` round-robin
+the same way.
+
+Determinism contract (pinned by ``tests/cluster/test_jobs.py``): a
+stream is a pure function of its spec string — same spec, same jobs,
+bit-for-bit, on any platform (generators use explicit integer seeds
+through :class:`random.Random`; nothing is derived from ``hash()``,
+process state or wall clock) — and arrival times are non-decreasing.
+Together with the fabric and fault contracts this gives the cluster
+layer's contract: ``(seed, topology, job stream) -> identical timeline``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..workloads import APPLICATIONS
+
+#: the stream kinds :func:`parse_jobs` understands
+STREAM_KINDS = ("static", "poisson", "diurnal", "list")
+
+
+class JobSpecError(ValueError):
+    """A malformed job-stream spec string (bad kind, key or value)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """One workload submitted to the cluster.
+
+    ``index`` is the job's position in the stream (its stable identity:
+    rank-name namespacing, placement seeding and rollups key on it);
+    ``tenant`` groups jobs for the per-tenant accounting.
+    """
+
+    index: int
+    app: str
+    nranks: int
+    arrival_us: float
+    tenant: str = "t0"
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise JobSpecError(f"job index must be >= 0, got {self.index}")
+        if self.app not in APPLICATIONS:
+            raise JobSpecError(
+                f"unknown application {self.app!r}; pick one of "
+                f"{', '.join(APPLICATIONS)}"
+            )
+        if self.nranks < 1:
+            raise JobSpecError(
+                f"job {self.index}: nranks must be >= 1, got {self.nranks}"
+            )
+        if self.arrival_us < 0:
+            raise JobSpecError(
+                f"job {self.index}: arrival_us must be >= 0, "
+                f"got {self.arrival_us}"
+            )
+
+    def label(self) -> str:
+        return f"{self.app}@{self.nranks}+{self.arrival_us:.0f}"
+
+
+# -- arrival generators ------------------------------------------------------
+
+
+def arrivals_static(
+    n: int, gap_us: float, start_us: float = 0.0
+) -> tuple[float, ...]:
+    """``n`` arrivals evenly spaced ``gap_us`` apart from ``start_us``."""
+
+    if gap_us < 0:
+        raise JobSpecError(f"gap_us must be >= 0, got {gap_us}")
+    return tuple(start_us + i * gap_us for i in range(n))
+
+
+def arrivals_poisson(
+    n: int, mean_gap_us: float, seed: int
+) -> tuple[float, ...]:
+    """``n`` arrivals of a homogeneous Poisson process.
+
+    Inter-arrival gaps are Exp(1/``mean_gap_us``) draws from
+    ``random.Random(seed)`` — deterministic per (n, mean_gap_us, seed).
+    """
+
+    if mean_gap_us <= 0:
+        raise JobSpecError(f"mean_gap_us must be > 0, got {mean_gap_us}")
+    rng = random.Random(seed)
+    rate = 1.0 / mean_gap_us
+    t = 0.0
+    out = []
+    for _ in range(n):
+        t += rng.expovariate(rate)
+        out.append(t)
+    return tuple(out)
+
+
+def arrivals_diurnal(
+    n: int,
+    mean_gap_us: float,
+    period_us: float,
+    peak: float,
+    seed: int,
+) -> tuple[float, ...]:
+    """``n`` arrivals of a sinusoidally-modulated Poisson process.
+
+    The instantaneous rate is ``lam(t) = (1 + (peak - 1) * (1 -
+    cos(2*pi*t/period_us)) / 2) / mean_gap_us`` — the trough (base rate
+    ``1/mean_gap_us``) at t=0, the peak (``peak/mean_gap_us``) half a
+    period later.  Realised by Lewis–Shedler thinning against the
+    constant majorant ``peak/mean_gap_us``: candidate gaps are
+    exponential at the majorant rate and each candidate is accepted
+    with probability ``lam(t)/lam_max``.  One ``random.Random(seed)``
+    drives both draws, so the stream is deterministic per spec.
+    """
+
+    if mean_gap_us <= 0:
+        raise JobSpecError(f"mean_gap_us must be > 0, got {mean_gap_us}")
+    if period_us <= 0:
+        raise JobSpecError(f"period_us must be > 0, got {period_us}")
+    if peak < 1.0:
+        raise JobSpecError(f"peak must be >= 1, got {peak}")
+    rng = random.Random(seed)
+    lam_max = peak / mean_gap_us
+    two_pi = 2.0 * math.pi
+    t = 0.0
+    out = []
+    while len(out) < n:
+        t += rng.expovariate(lam_max)
+        lam_t = (
+            1.0 + (peak - 1.0) * (1.0 - math.cos(two_pi * t / period_us)) / 2.0
+        ) / mean_gap_us
+        if rng.random() * lam_max <= lam_t:
+            out.append(t)
+    return tuple(out)
+
+
+# -- spec parsing ------------------------------------------------------------
+
+
+def _split_params(kind: str, rest: str, spec: str) -> dict[str, str]:
+    params: dict[str, str] = {}
+    for item in filter(None, (s.strip() for s in rest.split(","))):
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise JobSpecError(
+                f"bad job-stream parameter {item!r} in {spec!r} "
+                "(expected key=value)"
+            )
+        params[key.strip()] = value.strip()
+    return params
+
+
+def _take(params: dict, key: str, cast, default, spec: str):
+    raw = params.pop(key, None)
+    if raw is None:
+        return default
+    try:
+        return cast(raw)
+    except ValueError:
+        raise JobSpecError(
+            f"job-stream parameter {key}={raw!r} in {spec!r} is not "
+            f"a valid {cast.__name__}"
+        ) from None
+
+
+def _cycle(values: list, i: int):
+    return values[i % len(values)]
+
+
+def _assemble(
+    arrivals: tuple[float, ...],
+    apps: list[str],
+    ranks: list[int],
+    tenants: int,
+) -> tuple[Job, ...]:
+    return tuple(
+        Job(
+            index=i,
+            app=_cycle(apps, i),
+            nranks=_cycle(ranks, i),
+            arrival_us=t,
+            tenant=f"t{i % tenants}",
+        )
+        for i, t in enumerate(arrivals)
+    )
+
+
+def parse_jobs(spec: str) -> tuple[Job, ...]:
+    """Parse a job-stream spec string into its (ordered) jobs.
+
+    The returned jobs are sorted by arrival time (generators emit them
+    sorted already; explicit ``list:`` entries are reordered), indexed
+    0..n-1 in that order.  Raises :class:`JobSpecError` on an unknown
+    kind, key, or malformed value — fail fast, with the spec named.
+    """
+
+    kind, _, rest = spec.strip().partition(":")
+    kind = kind.strip()
+    if kind not in STREAM_KINDS:
+        raise JobSpecError(
+            f"unknown job-stream kind {kind!r} in {spec!r}; known kinds: "
+            f"{', '.join(STREAM_KINDS)}"
+        )
+    params = _split_params(kind, rest, spec)
+
+    if kind == "list":
+        entries = params.pop("jobs", "")
+        if params:
+            raise JobSpecError(
+                f"unknown job-stream parameter(s) "
+                f"{', '.join(sorted(params))} in {spec!r}"
+            )
+        if not entries:
+            raise JobSpecError(f"list spec {spec!r} needs jobs=app@nranks|...")
+        parsed = []
+        for entry in entries.split("|"):
+            fields = entry.strip().split("@")
+            if len(fields) < 2 or len(fields) > 4:
+                raise JobSpecError(
+                    f"bad list entry {entry!r} in {spec!r} "
+                    "(expected app@nranks[@arrival_us[@tenant]])"
+                )
+            app = fields[0]
+            try:
+                nranks = int(fields[1])
+                arrival = float(fields[2]) if len(fields) > 2 else 0.0
+            except ValueError:
+                raise JobSpecError(
+                    f"bad list entry {entry!r} in {spec!r} "
+                    "(nranks must be an int, arrival_us a number)"
+                ) from None
+            tenant = fields[3] if len(fields) > 3 else "t0"
+            parsed.append((arrival, app, nranks, tenant))
+        parsed.sort(key=lambda e: e[0])  # arrival order; ties keep entry order
+        return tuple(
+            Job(index=i, app=app, nranks=nranks, arrival_us=arrival,
+                tenant=tenant)
+            for i, (arrival, app, nranks, tenant) in enumerate(parsed)
+        )
+
+    n = _take(params, "n", int, 2, spec)
+    if n < 1:
+        raise JobSpecError(f"n must be >= 1 in {spec!r}, got {n}")
+    apps_raw = params.pop("apps", "alya")
+    apps = [a.strip() for a in apps_raw.split("|") if a.strip()]
+    ranks_raw = str(params.pop("ranks", "8"))
+    try:
+        ranks = [int(r) for r in ranks_raw.split("|") if r.strip()]
+    except ValueError:
+        raise JobSpecError(
+            f"ranks={ranks_raw!r} in {spec!r} must be |-separated ints"
+        ) from None
+    if not apps or not ranks:
+        raise JobSpecError(f"apps/ranks must be non-empty in {spec!r}")
+    tenants = _take(params, "tenants", int, 1, spec)
+    if tenants < 1:
+        raise JobSpecError(f"tenants must be >= 1 in {spec!r}, got {tenants}")
+
+    if kind == "static":
+        gap_us = _take(params, "gap_us", float, 2000.0, spec)
+        start_us = _take(params, "start_us", float, 0.0, spec)
+        if params:
+            raise JobSpecError(
+                f"unknown job-stream parameter(s) "
+                f"{', '.join(sorted(params))} in {spec!r}"
+            )
+        arrivals = arrivals_static(n, gap_us, start_us)
+    elif kind == "poisson":
+        mean_gap_us = _take(params, "mean_gap_us", float, 2000.0, spec)
+        seed = _take(params, "seed", int, 0, spec)
+        if params:
+            raise JobSpecError(
+                f"unknown job-stream parameter(s) "
+                f"{', '.join(sorted(params))} in {spec!r}"
+            )
+        arrivals = arrivals_poisson(n, mean_gap_us, seed)
+    else:  # diurnal
+        mean_gap_us = _take(params, "mean_gap_us", float, 2000.0, spec)
+        period_us = _take(
+            params, "period_us", float, 8.0 * mean_gap_us, spec
+        )
+        peak = _take(params, "peak", float, 4.0, spec)
+        seed = _take(params, "seed", int, 0, spec)
+        if params:
+            raise JobSpecError(
+                f"unknown job-stream parameter(s) "
+                f"{', '.join(sorted(params))} in {spec!r}"
+            )
+        arrivals = arrivals_diurnal(n, mean_gap_us, period_us, peak, seed)
+    return _assemble(arrivals, apps, ranks, tenants)
+
+
+def jobs_help() -> str:
+    """One line per stream kind, for CLI ``--jobs`` help text."""
+
+    return (
+        "static[:n=2,gap_us=2000,start_us=0,...] (evenly spaced); "
+        "poisson[:n=2,mean_gap_us=2000,seed=0,...] (exponential gaps); "
+        "diurnal[:n=2,mean_gap_us=2000,period_us=8*gap,peak=4,seed=0,...] "
+        "(sinusoidally-modulated Poisson); "
+        "list:jobs=app@nranks[@arrival_us[@tenant]]|... (explicit). "
+        "Common keys: apps=a|b and ranks=8|16 cycle round-robin, "
+        "tenants=K assigns t0..t(K-1)"
+    )

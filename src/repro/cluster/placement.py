@@ -1,0 +1,109 @@
+"""Placement policies: mapping a job's ranks onto free fabric hosts.
+
+A placement is a tuple ``hosts`` with ``hosts[rank]`` = the fabric host
+index carrying that rank, drawn from the currently free hosts of the
+shared topology.  Three policies:
+
+* ``packed``  — fill leaf groups one at a time (lowest-indexed free
+  hosts, grouped under their uplink switch): minimises the number of
+  leaves a job spans, so its traffic stays local and its HCA links
+  cluster under few switches.
+* ``spread``  — round-robin one host per leaf group per pass: maximises
+  the leaves spanned, the adversarial case for trunk-link contention.
+* ``random``  — a seeded uniform sample of the free hosts; the seed is
+  derived from ``(seed, job_index)`` by explicit integer arithmetic
+  (never ``hash()``), so placements are deterministic per job.
+
+All policies pick without replacement from the free set — concurrent
+jobs can never share a host — and return exactly ``nranks`` hosts (or
+``None`` when the free set is too small, which is the scheduler's cue
+to queue the job).  Determinism is pinned by
+``tests/cluster/test_placement.py`` over random job mixes on every
+topology family.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+#: the policies :func:`place_job` understands
+PLACEMENT_POLICIES = ("packed", "spread", "random")
+
+
+class PlacementError(ValueError):
+    """An unknown policy or an impossible placement request."""
+
+
+def leaf_groups(topo) -> list[list[int]]:
+    """Host indices grouped by their uplink switch, deterministic order.
+
+    Every host has exactly one uplink (the fabric-wide invariant behind
+    ``Fabric.host_link``); hosts sharing that switch form a "leaf
+    group".  Groups are ordered by their smallest host index and hosts
+    ascend within a group, so the grouping is a pure function of the
+    topology — no NodeId ordering assumptions.
+    """
+
+    by_switch: dict = {}
+    for i in range(topo.num_hosts):
+        host = topo.host(i)
+        (up,) = topo.up_neighbors(host)
+        by_switch.setdefault(up, []).append(i)
+    return sorted(by_switch.values(), key=lambda g: g[0])
+
+
+def place_job(
+    policy: str,
+    groups: Sequence[Sequence[int]],
+    free: "set[int] | frozenset[int]",
+    nranks: int,
+    *,
+    seed: int = 0,
+    job_index: int = 0,
+) -> tuple[int, ...] | None:
+    """Choose ``nranks`` hosts from ``free``, or ``None`` if too few.
+
+    ``groups`` is :func:`leaf_groups` of the shared topology (computed
+    once per cluster run and passed in, so placement stays O(hosts)).
+    """
+
+    if policy not in PLACEMENT_POLICIES:
+        raise PlacementError(
+            f"unknown placement policy {policy!r}; pick one of "
+            f"{', '.join(PLACEMENT_POLICIES)}"
+        )
+    if nranks < 1:
+        raise PlacementError(f"nranks must be >= 1, got {nranks}")
+    if nranks > len(free):
+        return None
+
+    if policy == "packed":
+        chosen = []
+        for group in groups:
+            for host in group:
+                if host in free:
+                    chosen.append(host)
+                    if len(chosen) == nranks:
+                        return tuple(chosen)
+        return None  # unreachable when groups cover all hosts
+
+    if policy == "spread":
+        queues = [[h for h in group if h in free] for group in groups]
+        chosen = []
+        while len(chosen) < nranks:
+            advanced = False
+            for q in queues:
+                if q:
+                    chosen.append(q.pop(0))
+                    advanced = True
+                    if len(chosen) == nranks:
+                        return tuple(chosen)
+            if not advanced:
+                return None  # unreachable: free >= nranks was checked
+        return tuple(chosen)
+
+    # random: explicit integer seed derivation — platform-stable, and
+    # independent draws per job so admission order cannot skew streams
+    rng = random.Random(seed * 1_000_003 + job_index * 7_919 + 17)
+    return tuple(rng.sample(sorted(free), nranks))

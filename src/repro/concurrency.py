@@ -111,6 +111,32 @@ def resolve_cell_retries(retries: int | None = None) -> int:
     return 2 if v is None else v
 
 
+def unique_by(
+    items: Sequence[_T], key: Callable[[_T], object]
+) -> tuple[list[_T], list[int]]:
+    """Dedupe ``items`` by ``key``, keeping first-seen order.
+
+    Returns ``(unique, index_of)`` where ``unique`` holds one item per
+    distinct key and ``index_of[i]`` is the position in ``unique`` that
+    serves ``items[i]``.  Fan-out callers use it to compute shared work
+    once — e.g. a multi-job cluster stream whose jobs repeat the same
+    (app, nranks) needs one isolated reference cell, not one per job —
+    and then scatter ``results[index_of[i]]`` back over the originals.
+    """
+
+    unique: list[_T] = []
+    index_of: list[int] = []
+    seen: dict = {}
+    for item in items:
+        k = key(item)
+        slot = seen.get(k)
+        if slot is None:
+            slot = seen[k] = len(unique)
+            unique.append(item)
+        index_of.append(slot)
+    return unique, index_of
+
+
 def parallel_map(
     fn: Callable[[_T], _R], items: Sequence[_T], workers: int
 ) -> list[_R]:

@@ -4,6 +4,15 @@ See DESIGN.md's per-experiment index for the mapping.  All drivers share
 the memoised :func:`repro.experiments.common.run_cell` pipeline.
 """
 
+from .cluster_sweep import (
+    DEFAULT_JOB_STREAMS,
+    DEFAULT_PLACEMENTS,
+    ClusterCell,
+    ClusterSweepRow,
+    format_cluster_sweep,
+    run_cluster_cell,
+    run_cluster_sweep,
+)
 from .common import (
     CellResult,
     clear_cache,
@@ -70,4 +79,11 @@ __all__ = [
     "FaultSweepRow",
     "format_fault_sweep",
     "run_fault_sweep",
+    "DEFAULT_JOB_STREAMS",
+    "DEFAULT_PLACEMENTS",
+    "ClusterCell",
+    "ClusterSweepRow",
+    "format_cluster_sweep",
+    "run_cluster_cell",
+    "run_cluster_sweep",
 ]

@@ -58,7 +58,7 @@ from .constants import DISPLACEMENT_FACTORS
 MAX_SLOWDOWN = 3.0
 
 #: benchmark schema version (bump when stages change incomparably)
-SCHEMA = 6
+SCHEMA = 7
 
 
 def _repo_root() -> pathlib.Path:
@@ -290,6 +290,10 @@ def run_pipeline_benchmark(
             "scheduler": replay_cfg.scheduler,
             "topology": topology,
             "faults": faults,
+            # single-job benchmark: schema 7 records the jobs dimension
+            # explicitly so clean one-job timings are never compared
+            # against a multi-job cluster recording
+            "jobs": 1,
             "selected_gt_us": selection.best.gt_us,
             "hit_rate_pct": selection.best.hit_rate_pct,
         },

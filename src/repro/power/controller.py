@@ -77,13 +77,25 @@ class ManagedLink:
         *,
         wake_faults=None,
         wake_key: int = 0,
+        start_us: float = 0.0,
     ) -> "ManagedLink":
+        """Wrap ``link``; the energy account opens (FULL) at ``start_us``.
+
+        ``start_us`` defaults to the single-job convention (management
+        begins at t=0); a cluster job admitted mid-run opens its episode
+        at its admission time, so the account's span is the occupancy
+        window rather than the whole cluster timeline.
+        """
+
         p = params or WRPSParams.paper()
         link.t_react_us = p.t_react_us
+        account = LinkEnergyAccount(p)
+        if start_us:
+            account._since_us = start_us
         return cls(
             link=link,
             params=p,
-            account=LinkEnergyAccount(p),
+            account=account,
             wake_faults=wake_faults,
             wake_key=wake_key,
         )

@@ -53,6 +53,17 @@ class LinkEnergyAccount:
     def current_mode(self) -> LinkPowerMode:
         return self._mode
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` pinned the end of the timeline.
+
+        Cluster replays use this to drop power directives that trail a
+        job's torn-down link episode (the link has been handed to the
+        next tenant or the run has ended).
+        """
+
+        return self._closed
+
     def switch_mode(self, t_us: float, mode: LinkPowerMode) -> None:
         """Enter ``mode`` at time ``t_us``."""
 

@@ -105,6 +105,7 @@ def fabric_switch_rollup(
     accounts: Sequence[LinkEnergyAccount],
     model: SwitchPowerModel | None = None,
     link_savings_pct: Sequence[float] | None = None,
+    hosts: Sequence[int] | None = None,
 ) -> tuple[SwitchSavings, ...]:
     """Per-switch savings rollup over a replay's managed HCA accounts.
 
@@ -117,12 +118,21 @@ def fabric_switch_rollup(
     *across* families instead of silently dropping the all-on part of
     one family's fabric.  Heterogeneous radixes are exactly why the
     dilution is per switch.
+
+    ``hosts`` overrides the single-job ``accounts[rank] -> host rank``
+    identity: cluster jobs occupy an arbitrary placement-chosen host
+    set, so ``hosts[i]`` names the fabric host whose HCA link
+    ``accounts[i]`` belongs to.
     """
 
+    if hosts is not None and len(hosts) != len(accounts):
+        raise ValueError(
+            f"hosts maps {len(hosts)} accounts, got {len(accounts)}"
+        )
     m = model or SwitchPowerModel()
     per_switch: dict = {node: [] for node in fabric.switches}
     for rank, account in enumerate(accounts):
-        link = fabric.host_link(rank)
+        link = fabric.host_link(hosts[rank] if hosts is not None else rank)
         switch_node = next(e for e in link.endpoints if not e.is_host)
         per_switch[switch_node].append(
             # reuse the integrals a caller (replay_managed's aggregate)

@@ -240,6 +240,7 @@ class MPIWorld:
         eager_threshold_bytes: int = EAGER_THRESHOLD_BYTES,
         power_hook: PowerHook | None = None,
         cpu_speedup: float = 1.0,
+        name_prefix: str = "",
     ) -> None:
         if nranks > fabric.topo.num_hosts:
             raise ValueError(
@@ -265,8 +266,11 @@ class MPIWorld:
         self._rdv_inflight = [0] * nranks
         # per-rank helper names, precomputed so deadlock reports render
         # a stuck rendezvous send under the same name the spawned
-        # helper process used to carry
-        self._isend_names = [f"isend{r}" for r in range(nranks)]
+        # helper process used to carry; ``name_prefix`` namespaces them
+        # (and the world's identity in reports) when several worlds —
+        # cluster jobs — share one engine
+        self.name_prefix = name_prefix
+        self._isend_names = [f"{name_prefix}isend{r}" for r in range(nranks)]
         engine.blocked_reporter = self._blocked_helpers
 
     # -------------------------------------------------------------- pooling

@@ -81,6 +81,14 @@ class ManagedResult:
     #: was armed for this replay (wake-timeout counters folded in), else
     #: None
     faults: object | None = None
+    #: :class:`repro.cluster.scheduler.JobAttribution` when this result
+    #: is one job of a multi-job cluster replay (arrival/start/finish,
+    #: placement, tenant, job-attributed link energy and the
+    #: slowdown-vs-isolated reference), else None.  In that case
+    #: ``exec_time_us`` is the job's in-cluster span and
+    #: ``baseline_exec_time_us`` is its *isolated* managed span, so
+    #: ``exec_time_increase_pct`` reads as slowdown-vs-isolated.
+    cluster: object | None = None
 
     @property
     def fleet_switch_savings_pct(self) -> float:

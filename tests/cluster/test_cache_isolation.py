@@ -1,0 +1,165 @@
+"""Cross-job leakage audit of the process-level caches.
+
+Multi-job cluster runs put workloads of *different* ``nranks`` in one
+process, so every module-level cache must key on enough of the shape to
+stay collision-free: the collective schedule cache (keyed
+``(call, rank, nranks, size, root)``), the per-fabric route/hop tables
+(reused across ``reset()``), the ``run_cell`` memo, and the per-engine
+signal / per-world envelope pools (which must not outlive their run).
+Each test pins **warm == cold**: the same replay, bit-for-bit, whether
+the cache was pre-populated by a different-shape job or empty.
+"""
+
+import pytest
+
+from repro.cluster import ClusterJob, Job, replay_cluster_managed
+from repro.experiments.common import clear_cache, run_cell
+from repro.power.states import WRPSParams
+from repro.sim.collectives import (
+    clear_schedule_cache,
+    schedule_cache_stats,
+    schedule_steps,
+)
+from repro.sim.dimemas import ReplayConfig, fabric_for, replay_baseline
+from repro.trace.events import MPICall
+from repro.workloads import make_trace
+
+pytestmark = pytest.mark.cluster
+
+SEED, ITERS = 1234, 4
+
+
+def run_managed_snapshot(app, nranks, disp=0.5):
+    """One isolated managed replay's comparable fields."""
+
+    cell = run_cell(
+        app, nranks, displacements=(disp,), iterations=ITERS, seed=SEED,
+        use_cache=False,
+    )
+    m = cell.managed[disp]
+    return {
+        "baseline_exec": cell.baseline.exec_time_us,
+        "exec": m.exec_time_us,
+        "power": m.power,
+        "event_logs": m.event_logs,
+        "counters": m.counters,
+    }
+
+
+class TestScheduleCache:
+    def test_key_includes_nranks(self):
+        """Same (call, rank, size) at different nranks are distinct
+        entries — the collision a multi-job mix would hit first."""
+
+        clear_schedule_cache()
+        a = schedule_steps(MPICall.ALLREDUCE, 0, 4, 64)
+        b = schedule_steps(MPICall.ALLREDUCE, 0, 8, 64)
+        assert a != b
+        stats = schedule_cache_stats()
+        assert stats["misses"] == 2 and stats["hits"] == 0
+        # both shapes now served from cache, no cross-shape hit
+        schedule_steps(MPICall.ALLREDUCE, 0, 4, 64)
+        schedule_steps(MPICall.ALLREDUCE, 0, 8, 64)
+        assert schedule_cache_stats()["hits"] == 2
+
+    def test_warm_equals_cold_across_nranks(self):
+        """An nranks=8 replay is bit-for-bit the same whether the
+        schedule cache is cold or warm with nranks=4 entries."""
+
+        clear_schedule_cache()
+        clear_cache()
+        cold = run_managed_snapshot("alya", 8)
+
+        clear_schedule_cache()
+        clear_cache()
+        run_managed_snapshot("alya", 4)   # warms 4-rank schedules
+        run_managed_snapshot("gromacs", 6)
+        warm = run_managed_snapshot("alya", 8)
+        assert warm == cold
+
+
+class TestRouteTables:
+    def test_warm_fabric_equals_cold_fabric(self):
+        """Routes/hop tables survive ``reset()`` by design; a reused
+        (warm) fabric must replay identically to a fresh (cold) one."""
+
+        cfg = ReplayConfig(seed=SEED)
+        trace8 = make_trace("alya", 8, iterations=ITERS, seed=SEED,
+                            scaling="strong")
+        trace4 = make_trace("gromacs", 4, iterations=ITERS, seed=SEED,
+                            scaling="strong")
+
+        cold = replay_baseline(trace8, cfg, fabric=fabric_for(8, cfg))
+
+        warm_fabric = fabric_for(8, cfg)
+        # warm the route tables with a *different-shape* job first
+        replay_baseline(trace4, ReplayConfig(seed=SEED),
+                        fabric=fabric_for(4, cfg))
+        replay_baseline(trace8, cfg, fabric=warm_fabric)
+        again = replay_baseline(trace8, cfg, fabric=warm_fabric)
+        assert again.exec_time_us == cold.exec_time_us
+        assert again.event_logs == cold.event_logs
+        assert again.messages_sent == cold.messages_sent
+
+
+class TestPoolsAcrossJobs:
+    def test_back_to_back_cluster_runs_identical(self):
+        """Envelope/signal pools are per-world/per-engine: nothing a
+        first cluster run pooled may leak into a second one."""
+
+        disp = 0.5
+        params = WRPSParams.paper()
+        jobs = []
+        for i, (app, nranks) in enumerate((("alya", 8), ("gromacs", 4))):
+            cell = run_cell(app, nranks, displacements=(disp,),
+                            iterations=ITERS, seed=SEED)
+            gt_us = max(cell.gt_us, params.min_worthwhile_idle_us)
+            directives, _ = cell.plan.rebind_displacement(disp)
+            jobs.append(ClusterJob(
+                job=Job(index=i, app=app, nranks=nranks,
+                        arrival_us=1000.0 * i),
+                trace=make_trace(app, nranks, iterations=ITERS, seed=SEED,
+                                 scaling="strong"),
+                programs=cell.programs.with_directives(directives),
+                directives=directives,
+                grouping_thresholds_us=[gt_us] * nranks,
+                isolated_exec_time_us=cell.managed[disp].exec_time_us,
+                displacement=disp,
+            ))
+        cfg = ReplayConfig(seed=SEED)
+        a = replay_cluster_managed(jobs, cfg, num_hosts=12,
+                                   placement="packed")
+        b = replay_cluster_managed(jobs, cfg, num_hosts=12,
+                                   placement="packed")
+        assert a.exec_time_us == b.exec_time_us
+        assert [m.event_logs for m in a.jobs] == [
+            m.event_logs for m in b.jobs
+        ]
+        assert [m.power for m in a.jobs] == [m.power for m in b.jobs]
+        assert [
+            [acc.intervals for acc in m.accounts] for m in a.jobs
+        ] == [
+            [acc.intervals for acc in m.accounts] for m in b.jobs
+        ]
+
+
+class TestRunCellMemo:
+    def test_memo_key_separates_shapes(self):
+        """Two different-nranks cells never collide in the memo (the
+        key includes nranks); hitting the memo changes nothing."""
+
+        disp = 0.5
+        clear_cache()
+        first = run_cell("alya", 8, displacements=(disp,),
+                         iterations=ITERS, seed=SEED)
+        other = run_cell("alya", 4, displacements=(disp,),
+                         iterations=ITERS, seed=SEED)
+        assert other.nranks == 4
+        memo_hit = run_cell("alya", 8, displacements=(disp,),
+                            iterations=ITERS, seed=SEED)
+        assert memo_hit is first  # served from the memo
+        fresh = run_cell("alya", 8, displacements=(disp,),
+                         iterations=ITERS, seed=SEED, use_cache=False)
+        assert fresh.baseline.exec_time_us == first.baseline.exec_time_us
+        assert (fresh.managed[disp].power ==
+                first.managed[disp].power)

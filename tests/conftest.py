@@ -21,6 +21,12 @@ def pytest_configure(config):
         "(slow; excluded by `make test-fast`, included by `make "
         "test-full`)",
     )
+    config.addinivalue_line(
+        "markers",
+        "cluster: multi-job cluster tier (job streams, placement, "
+        "shared-fabric scheduling; tests/README.md describes what it "
+        "pins)",
+    )
 
 
 def make_event_stream(pattern, *, call_dur_us=3.0, start_us=0.0):
