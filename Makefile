@@ -23,12 +23,17 @@
 #                     streams x placements x (fitted, torus), each cell
 #                     verified (fast, calendar) == (reference, heap)
 #                     bit-for-bit plus the per-job energy-sum invariant
+#   make policy-smoke gate the power-policy registry: one small cell per
+#                     policy family (gate / width / scale on the HCA
+#                     class, plus trunk and switch management), each
+#                     verified fast == reference kernel including the
+#                     per-class savings rows
 
 PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast test-full bench bench-smoke bench-record \
-	topo-smoke fault-smoke cluster-smoke
+	topo-smoke fault-smoke cluster-smoke policy-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -59,3 +64,11 @@ fault-smoke:
 
 cluster-smoke:
 	$(PY) -m repro.cli cluster-sweep --iterations 6 --verify
+
+policy-smoke:
+	$(PY) -m repro.cli topo-sweep --apps alya --nranks 8 \
+		--iterations 6 --topologies fattree2:leaf=4,ratio=2 \
+		--policies "policy:hca=gate" "policy:hca=width" \
+		"policy:hca=scale" "policy:hca=gate,trunk=gate" \
+		"policy:hca=gate,trunk=width:levels=3,switch=gate" \
+		--verify

@@ -1,4 +1,5 @@
-"""Ablation — PPA vs reactive hardware on/off vs perfect oracle.
+"""Ablation — PPA vs reactive hardware on/off vs perfect oracle,
+plus the per-class policy-registry axis.
 
 Places the paper's mechanism between the two brackets from its
 introduction: the reactive scheme ("huge power saving potential, but
@@ -7,12 +8,28 @@ perfect-prediction oracle.  Run twice: with WRPS lane shutdown
 (T_react = 10 us) and with Section VI's deep sleep (T_react = 1 ms),
 where prediction's advantage over reactive wake-on-demand becomes
 decisive.
+
+The second half sweeps the :mod:`repro.power.policies` registry's
+per-link-class axis on one oversubscribed fat tree: the paper's
+HCA-only gate against width/scale HCA ladders and trunk/switch
+management, reporting per-class savings and the slowdown each scenario
+pays.
 """
 
 from conftest import emit
 
 from repro.baselines import compare_policies
+from repro.experiments.common import clear_cache, run_cell
 from repro.power import WRPSParams
+
+#: the per-class scenarios of the registry sweep (canonical specs)
+CLASS_POLICIES = (
+    "policy:hca=gate",
+    "policy:hca=width:levels=3",
+    "policy:hca=scale:levels=3",
+    "policy:hca=gate,trunk=gate",
+    "policy:hca=gate,trunk=width:levels=3,switch=gate",
+)
 
 
 def _run():
@@ -51,4 +68,52 @@ def test_policy_comparison(benchmark):
     assert (
         deep.by_name("reactive").slowdown_pct
         > deep.by_name("ppa").slowdown_pct
+    )
+
+
+def _run_class_axis():
+    clear_cache()
+    rows = []
+    for policy in CLASS_POLICIES:
+        cell = run_cell(
+            "alya", 16, displacements=(0.05,), iterations=8, seed=1234,
+            topology="fattree2:leaf=4,ratio=2", policy=policy,
+        )
+        rows.append(cell.managed[0.05])
+    return rows
+
+
+def test_policy_class_axis(benchmark):
+    rows = benchmark.pedantic(_run_class_axis, rounds=1, iterations=1)
+    by_policy = {m.policy: m for m in rows}
+
+    lines = [
+        f"{'Policy':50s} {'savings%':>9s} {'trunk%':>7s} "
+        f"{'switch%':>8s} {'slowdn%':>8s}"
+    ]
+    for m in rows:
+        lines.append(
+            f"{m.policy:50s} {m.power_savings_pct:>9.2f} "
+            f"{m.trunk_savings_pct:>7.2f} "
+            f"{m.fleet_switch_savings_pct:>8.2f} "
+            f"{m.exec_time_increase_pct:>8.3f}"
+        )
+    emit("ablation_policy_class_axis", "\n".join(lines))
+
+    hca_only = by_policy["policy:hca=gate"]
+    trunked = by_policy["policy:hca=gate,trunk=gate"]
+    full = by_policy["policy:hca=gate,trunk=width:levels=3,switch=gate"]
+    # trunk management must actually find savings on an oversubscribed
+    # fat tree (ROADMAP open item 2's premise), at a bounded extra cost
+    assert trunked.trunk_savings_pct > 0.0
+    assert hca_only.trunk_savings_pct == 0.0
+    # switch gating lifts the fleet whole-switch number beyond what the
+    # HCA-only dilution can reach
+    assert (
+        full.fleet_switch_savings_pct > hca_only.fleet_switch_savings_pct
+    )
+    # managing more classes never *reduces* the HCA class's own savings
+    # by more than reactivation-coupling noise
+    assert (
+        trunked.power_savings_pct > hca_only.power_savings_pct - 1.0
     )

@@ -85,6 +85,7 @@ from .experiments import (
     run_topo_sweep,
 )
 from .network import faults_help, topology_help
+from .power.policies import policy_help
 from .workloads import APPLICATIONS
 
 
@@ -247,6 +248,7 @@ def _cmd_topo_sweep(args) -> None:
         apps=args.apps,
         nranks_list=tuple(args.nranks),
         topologies=args.topologies,
+        policies=args.policies,
         displacement=args.displacement,
         iterations=args.iterations,
         workers=args.workers,
@@ -255,13 +257,13 @@ def _cmd_topo_sweep(args) -> None:
     print(format_topo_sweep(rows))
     if args.verify:
         print("[fast == reference kernel equality verified on every "
-              "family]", file=sys.stderr)
+              "(policy, family) pair]", file=sys.stderr)
     if args.csv:
         _write_csv(
             args.csv,
-            ["topology", "family", "app", "nranks", "hosts", "switches",
-             "links", "gt_us", "hit_rate_pct", "savings_pct",
-             "slowdown_pct", "switch_savings_pct"],
+            ["policy", "topology", "family", "app", "nranks", "hosts",
+             "switches", "links", "gt_us", "hit_rate_pct", "savings_pct",
+             "slowdown_pct", "trunk_savings_pct", "switch_savings_pct"],
             [r.cells() for r in rows],
         )
 
@@ -339,12 +341,14 @@ def _cmd_bench(args) -> None:
             print("bench: --profile cannot be combined with --smoke "
                   "or --csv", file=sys.stderr)
             raise SystemExit(2)
-        profile_path = (perf.output_path(args.topology, args.faults).parent
-                        / "replay_profile.prof")
+        profile_path = (
+            perf.output_path(args.topology, args.faults, args.policy).parent
+            / "replay_profile.prof"
+        )
     result = perf.run_pipeline_benchmark(
         app=args.app, nranks=args.nranks, iterations=iterations,
         profile_path=profile_path, topology=args.topology,
-        faults=args.faults,
+        faults=args.faults, policy=args.policy,
     )
     if args.profile:
         print(result.pop("profile_top"))
@@ -357,7 +361,7 @@ def _cmd_bench(args) -> None:
         print("[benchmark JSON not written: timings include cProfile "
               "overhead]", file=sys.stderr)
         return
-    out = perf.output_path(args.topology, args.faults)
+    out = perf.output_path(args.topology, args.faults, args.policy)
     perf.write_benchmark(result, out)
     print(f"[benchmark written to {out}]", file=sys.stderr)
     if args.csv:
@@ -368,7 +372,7 @@ def _cmd_bench(args) -> None:
         )
     if not args.smoke:
         return
-    ref_path = perf.reference_path(args.topology, args.faults)
+    ref_path = perf.reference_path(args.topology, args.faults, args.policy)
     if not ref_path.exists():
         perf.write_benchmark(result, ref_path)
         print(f"[no reference found; recorded {ref_path}]", file=sys.stderr)
@@ -472,6 +476,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--topologies", nargs="*", default=None,
         help="topology specs 'family[:key=value,...]' (default: fitted + "
              "torus + dragonfly + fattree2). Families: " + topology_help(),
+    )
+    p.add_argument(
+        "--policies", nargs="*", default=None,
+        help="power-policy specs (default: the paper's HCA-only gating). "
+             "Grammar: " + policy_help(),
     )
     p.add_argument("--displacement", type=float, default=0.05)
     p.add_argument("--verify", action="store_true",
@@ -608,6 +617,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "faulted benchmarks are written/compared "
                         "separately from the clean reference). Grammar: "
                         + faults_help())
+    p.add_argument("--policy", default=None,
+                   help="power-policy spec for the managed replays "
+                        "(default: the paper's HCA-only gating; "
+                        "non-default recordings are written/compared "
+                        "separately). Grammar: " + policy_help())
     topology_option(p)
     common(p)
     p.set_defaults(func=_cmd_bench)

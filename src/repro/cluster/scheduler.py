@@ -51,6 +51,7 @@ from ..network.faults import FabricPartitioned, parse_faults
 from ..network.links import LinkPowerMode
 from ..power.controller import ManagedLink
 from ..power.model import aggregate
+from ..power.policies import DEFAULT_POLICY, parse_policy
 from ..power.states import WRPSParams
 from ..power.switchpower import fabric_switch_rollup
 from ..sim.dimemas import ReplayConfig, fabric_for
@@ -285,6 +286,18 @@ class ClusterScheduler:
                 f"{', '.join(PLACEMENT_POLICIES)}"
             )
         self.cfg = config or ReplayConfig()
+        if not parse_policy(self.cfg.policy).is_default:
+            # the cluster's episode handoff (finish + reopen per tenant)
+            # is built around the HCA gate; composing reactive trunk /
+            # switch gating with multi-tenant link occupancy is a
+            # separate piece of work — refuse loudly rather than report
+            # numbers the accounting model does not back
+            raise ValueError(
+                f"cluster replays support only the default power policy "
+                f"({DEFAULT_POLICY!r}); got {self.cfg.policy!r} — run "
+                "non-default policies through the single-job topo-sweep "
+                "pipeline"
+            )
         # FCFS admission order: by arrival time, stream index the
         # deterministic tie-break
         self.cluster_jobs = sorted(

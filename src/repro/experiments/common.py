@@ -92,6 +92,7 @@ from ..concurrency import (
 from ..network.fabric import Fabric
 from ..network.faults import NO_FAULTS
 from ..network.topologies import DEFAULT_TOPOLOGY
+from ..power.policies import DEFAULT_POLICY
 from ..power.states import WRPSParams
 from ..sim import (
     BaselineResult,
@@ -177,6 +178,7 @@ def run_cell(
     topology: str = DEFAULT_TOPOLOGY,
     kernel: str = "fast",
     faults: str = NO_FAULTS,
+    policy: str = DEFAULT_POLICY,
 ) -> CellResult:
     """Run the full pipeline for one cell (memoised).
 
@@ -185,21 +187,24 @@ def run_cell(
     implementation (every kernel is bit-for-bit identical, the knob
     exists so sweeps can cross-check families against the reference);
     ``faults`` arms fault injection (a spec string — see
-    :mod:`repro.network.faults`).  All three are part of the cell's
-    memo identity.
+    :mod:`repro.network.faults`); ``policy`` selects the power-policy
+    scenario (a spec string — see :mod:`repro.power.policies`; the
+    default is the paper's HCA-only gating).  All four are part of the
+    cell's memo identity.
     """
 
     iters = iterations if iterations is not None else default_iterations()
     params = wrps or WRPSParams.paper()
     key = _cache_key(
         app, nranks, iters, seed, scaling, params, charge_overheads,
-        topology, kernel, faults,
+        topology, kernel, faults, policy,
     )
     cell = _CACHE.get(key) if use_cache else None
     if cell is None:
         trace = make_trace(app, nranks, iterations=iters, seed=seed, scaling=scaling)
         replay_cfg = ReplayConfig(
-            seed=seed, topology=topology, kernel=kernel, faults=faults
+            seed=seed, topology=topology, kernel=kernel, faults=faults,
+            policy=policy,
         )
         # one fabric per cell: construction and route compilation are
         # shared by the baseline and every managed replay (reset
@@ -251,7 +256,8 @@ def run_cell(
                 cell.baseline.event_logs, cfg
             )
         replay_cfg = ReplayConfig(
-            seed=seed, topology=topology, kernel=kernel, faults=faults
+            seed=seed, topology=topology, kernel=kernel, faults=faults,
+            policy=policy,
         )
         if cell.fabric is None:
             cell.fabric = fabric_for(nranks, replay_cfg)
@@ -279,6 +285,7 @@ def run_cell(
                     "topology": topology,
                     "kernel": kernel,
                     "faults": faults,
+                    "policy": policy,
                     "displacement": disp,
                     "directives": directives,
                     "stats": stats,
@@ -330,6 +337,7 @@ def _cache_key(
     topology: str,
     kernel: str,
     faults: str,
+    policy: str,
 ) -> tuple:
     """The cell memo key — the single definition shared by ``run_cell``
     and ``run_cells`` so the two can never drift apart.
@@ -337,14 +345,14 @@ def _cache_key(
     The full (frozen, hashable) WRPSParams is part of the identity: the
     cached plan's shutdown-timer filtering depends on t_deact_us too,
     so two calls differing in any WRPS field must not share a cell.
-    The topology spec, replay kernel and fault spec are part of the
-    identity too — a torus baseline must never serve a fat-tree cell,
-    nor a faulted baseline a clean one.
+    The topology spec, replay kernel, fault spec and policy spec are
+    part of the identity too — a torus baseline must never serve a
+    fat-tree cell, nor a trunk-gated managed replay a HCA-only one.
     """
 
     return (
         app, nranks, iters, seed, scaling, params, charge_overheads,
-        topology, kernel, faults,
+        topology, kernel, faults, policy,
     )
 
 
@@ -366,6 +374,7 @@ def _cell_cache_key(spec: dict) -> tuple:
         spec.get("topology", DEFAULT_TOPOLOGY),
         spec.get("kernel", "fast"),
         spec.get("faults", NO_FAULTS),
+        spec.get("policy", DEFAULT_POLICY),
     )
 
 
@@ -396,6 +405,7 @@ def _managed_replay_worker(job: dict) -> "ManagedResult":
         topology=job["topology"],
         kernel=job["kernel"],
         faults=job.get("faults", NO_FAULTS),
+        policy=job.get("policy", DEFAULT_POLICY),
     )
     return replay_managed(
         trace,
@@ -450,6 +460,9 @@ def _cell_label(spec: dict) -> str:
     faults = spec.get("faults", NO_FAULTS)
     if faults != NO_FAULTS:
         parts.append(faults)
+    policy = spec.get("policy", DEFAULT_POLICY)
+    if policy != DEFAULT_POLICY:
+        parts.append(policy)
     if spec.get("kernel", "fast") != "fast":
         parts.append(spec["kernel"])
     return " ".join(parts)

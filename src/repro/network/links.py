@@ -158,6 +158,17 @@ class Link:
             return self.b.index
         return None
 
+    @property
+    def link_class(self) -> str:
+        """Power-policy class of this link: ``hca`` or ``trunk``.
+
+        Host-adapter links are runtime-visible (the PMPI layer predicts
+        their idleness); switch-to-switch trunks are not, so the policy
+        registry manages the two classes differently.
+        """
+
+        return "hca" if self.is_host_link else "trunk"
+
     # -- power-mode bookkeeping used by the power controller ---------------
 
     def ready_time(self, now_us: float) -> float:

@@ -58,7 +58,7 @@ from .constants import DISPLACEMENT_FACTORS
 MAX_SLOWDOWN = 3.0
 
 #: benchmark schema version (bump when stages change incomparably)
-SCHEMA = 7
+SCHEMA = 8
 
 
 def _repo_root() -> pathlib.Path:
@@ -77,29 +77,40 @@ def _topology_slug(topology: str) -> str:
     return "".join(c if c.isalnum() else "-" for c in topology).strip("-")
 
 
-def _bench_name(topology: str, faults: str = "none") -> str:
-    """One file per (topology, faults) pair: recording a torus or a
-    faulted reference never clobbers (or cross-gates against) the
-    default clean fitted one."""
+def _bench_name(
+    topology: str, faults: str = "none", policy: str | None = None
+) -> str:
+    """One file per (topology, faults, policy) triple: recording a
+    torus, a faulted or a trunk-managed reference never clobbers (or
+    cross-gates against) the default clean fitted one."""
+
+    from .power.policies import DEFAULT_POLICY
 
     name = "BENCH_pipeline"
     if topology != "fitted":
         name += f".{_topology_slug(topology)}"
     if faults != "none":
         name += f".{_topology_slug(faults)}"
+    if policy is not None and policy != DEFAULT_POLICY:
+        name += f".{_topology_slug(policy)}"
     return name + ".json"
 
 
 def reference_path(
-    topology: str = "fitted", faults: str = "none"
+    topology: str = "fitted", faults: str = "none", policy: str | None = None
 ) -> pathlib.Path:
-    """The smoke-gate reference for the (topology, faults) pair."""
+    """The smoke-gate reference for the (topology, faults, policy) triple."""
 
-    return _repo_root() / "benchmarks" / _bench_name(topology, faults)
+    return _repo_root() / "benchmarks" / _bench_name(topology, faults, policy)
 
 
-def output_path(topology: str = "fitted", faults: str = "none") -> pathlib.Path:
-    return _repo_root() / "benchmarks" / "out" / _bench_name(topology, faults)
+def output_path(
+    topology: str = "fitted", faults: str = "none", policy: str | None = None
+) -> pathlib.Path:
+    return (
+        _repo_root() / "benchmarks" / "out"
+        / _bench_name(topology, faults, policy)
+    )
 
 
 class _ReplayProfiler:
@@ -147,16 +158,19 @@ def run_pipeline_benchmark(
     profile_path: pathlib.Path | str | None = None,
     topology: str = "fitted",
     faults: str = "none",
+    policy: str | None = None,
 ) -> dict:
     """Time each pipeline stage once; returns the JSON-ready record.
 
     ``profile_path`` additionally runs the two replay stages under
     cProfile, dumps the stats there, and attaches the top functions to
     the returned record (``profile_top``).  ``topology`` selects the
-    fabric family (a spec string) and ``faults`` the fault-injection
-    schedule (``"none"`` keeps the replay fault-free); both are part of
-    the comparison key, so per-family and faulted references never
-    cross-gate against the clean ones.
+    fabric family (a spec string), ``faults`` the fault-injection
+    schedule (``"none"`` keeps the replay fault-free) and ``policy``
+    the power-policy scenario (default: the paper's HCA-only gating);
+    all three are part of the comparison key, so per-family, faulted
+    and non-default-policy references never cross-gate against the
+    clean ones.
     """
 
     from .concurrency import resolve_workers
@@ -174,11 +188,17 @@ def run_pipeline_benchmark(
     from .sim.collectives import clear_schedule_cache, schedule_cache_stats
     from .workloads import make_trace
 
+    from .power.policies import DEFAULT_POLICY
+
     iters = iterations if iterations is not None else default_iterations()
     params = WRPSParams.paper()
-    replay_cfg = ReplayConfig(seed=seed, topology=topology, faults=faults)
+    policy = policy or DEFAULT_POLICY
+    replay_cfg = ReplayConfig(
+        seed=seed, topology=topology, faults=faults, policy=policy
+    )
     heap_cfg = ReplayConfig(
-        seed=seed, scheduler="heap", topology=topology, faults=faults
+        seed=seed, scheduler="heap", topology=topology, faults=faults,
+        policy=policy,
     )
     stages: dict[str, float] = {}
     # cold schedule cache: stage timings stay reproducible whatever ran
@@ -290,6 +310,11 @@ def run_pipeline_benchmark(
             "scheduler": replay_cfg.scheduler,
             "topology": topology,
             "faults": faults,
+            # schema 8: the power-policy scenario is part of the key —
+            # a trunk/switch-managed replay does strictly more per-hop
+            # work than the paper's HCA-only default and must never be
+            # gated against (or recorded as) a default-policy reference
+            "policy": policy,
             # single-job benchmark: schema 7 records the jobs dimension
             # explicitly so clean one-job timings are never compared
             # against a multi-job cluster recording

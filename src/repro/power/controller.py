@@ -44,10 +44,17 @@ class PowerEventCounters:
     emergency_reactivations: int = 0   # arrived in LOW: full T_react penalty
     late_reactivations: int = 0        # arrived mid-reactivation: partial
     total_penalty_us: float = 0.0
-    skipped_too_short: int = 0
+    skipped_too_short: int = 0         # directive's timer fits no level
+    skipped_not_full: int = 0          # back-to-back directive, not FULL
     #: fault injection: reactivations that missed their t_react deadline
     wake_timeouts: int = 0
     wake_timeout_extra_us: float = 0.0
+
+    @property
+    def skipped_directives(self) -> int:
+        """All refused directives — the pre-split ``skipped_too_short``."""
+
+        return self.skipped_too_short + self.skipped_not_full
 
 
 @dataclass(slots=True)
@@ -89,9 +96,7 @@ class ManagedLink:
 
         p = params or WRPSParams.paper()
         link.t_react_us = p.t_react_us
-        account = LinkEnergyAccount(p)
-        if start_us:
-            account._since_us = start_us
+        account = LinkEnergyAccount(p, start_us=start_us)
         return cls(
             link=link,
             params=p,
@@ -101,6 +106,9 @@ class ManagedLink:
         )
 
     # -- runtime-facing API ----------------------------------------------------
+
+    def power_of(self, mode: LinkPowerMode) -> float:
+        return self.params.power_of(mode)
 
     def worthwhile(self, predicted_idle_us: float) -> bool:
         """Paper break-even test: T_idle must exceed 2 * T_react."""
@@ -122,7 +130,7 @@ class ManagedLink:
             return False
         self._settle(t_off_us)
         if self.link.mode is not LinkPowerMode.FULL:
-            self.counters.skipped_too_short += 1
+            self.counters.skipped_not_full += 1
             return False
 
         t_low = t_off_us + self.params.t_deact_us

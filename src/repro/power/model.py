@@ -13,7 +13,7 @@ power times wall time).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Iterable, Sequence
 
 from ..network.links import LinkPowerMode
@@ -22,11 +22,19 @@ from .states import WRPSParams
 
 @dataclass(frozen=True, slots=True)
 class StateInterval:
-    """One segment of a link's power timeline."""
+    """One segment of a link's power timeline.
+
+    ``power`` overrides the mode's nominal power fraction for this
+    segment — multi-level policies park a link at intermediate operating
+    points (2X width, half clock) that all map to mode LOW but draw
+    different power.  ``None`` means "the mode's nominal draw", which is
+    what the paper's on/off gate always records.
+    """
 
     start_us: float
     end_us: float
     mode: LinkPowerMode
+    power: float | None = None
 
     @property
     def duration_us(self) -> float:
@@ -48,6 +56,14 @@ class LinkEnergyAccount:
     _since_us: float = 0.0
     _closed: bool = False
     transitions_to_low: int = 0
+    _power: float | None = None
+    #: timeline origin — a cluster job admitted mid-run opens its episode
+    #: at its admission time instead of t=0
+    start_us: InitVar[float] = 0.0
+
+    def __post_init__(self, start_us: float) -> None:
+        if start_us:
+            self._since_us = start_us
 
     @property
     def current_mode(self) -> LinkPowerMode:
@@ -65,7 +81,19 @@ class LinkEnergyAccount:
         return self._closed
 
     def switch_mode(self, t_us: float, mode: LinkPowerMode) -> None:
-        """Enter ``mode`` at time ``t_us``."""
+        """Enter ``mode`` at time ``t_us`` (at the mode's nominal power)."""
+
+        self.set_state(t_us, mode, None)
+
+    def set_state(
+        self, t_us: float, mode: LinkPowerMode, power: float | None
+    ) -> None:
+        """Enter ``mode`` at ``t_us``, drawing ``power`` while resident.
+
+        Unlike the mode-only path this splits the timeline even when the
+        mode is unchanged but the power differs — a multi-level policy
+        stepping 2X→1X stays in LOW while its draw drops.
+        """
 
         if self._closed:
             raise RuntimeError("account already closed")
@@ -74,13 +102,16 @@ class LinkEnergyAccount:
                 f"time went backwards: {t_us} < {self._since_us}"
             )
         t_us = max(t_us, self._since_us)
-        if mode is self._mode:
+        if mode is self._mode and power == self._power:
             return
         if t_us > self._since_us:
-            self.intervals.append(StateInterval(self._since_us, t_us, self._mode))
-        if mode is LinkPowerMode.LOW:
+            self.intervals.append(
+                StateInterval(self._since_us, t_us, self._mode, self._power)
+            )
+        if mode is LinkPowerMode.LOW and self._mode is not LinkPowerMode.LOW:
             self.transitions_to_low += 1
         self._mode = mode
+        self._power = power
         self._since_us = t_us
 
     def close(self, t_end_us: float) -> None:
@@ -88,7 +119,7 @@ class LinkEnergyAccount:
             return
         if t_end_us > self._since_us:
             self.intervals.append(
-                StateInterval(self._since_us, t_end_us, self._mode)
+                StateInterval(self._since_us, t_end_us, self._mode, self._power)
             )
         self._closed = True
 
@@ -111,7 +142,8 @@ class LinkEnergyAccount:
         for i in self.intervals:
             d = i.end_us - i.start_us
             total += d
-            energy += power_of(i.mode) * d
+            p = i.power
+            energy += (power_of(i.mode) if p is None else p) * d
             if i.mode is low_mode:
                 low += d
         return total, energy, low
@@ -126,8 +158,10 @@ class LinkEnergyAccount:
     def energy(self) -> float:
         """Integral of normalised power over the timeline (units: us)."""
 
+        power_of = self.params.power_of
         return sum(
-            self.params.power_of(i.mode) * i.duration_us for i in self.intervals
+            (power_of(i.mode) if i.power is None else i.power) * i.duration_us
+            for i in self.intervals
         )
 
     def savings_fraction(self) -> float:

@@ -106,6 +106,7 @@ def fabric_switch_rollup(
     model: SwitchPowerModel | None = None,
     link_savings_pct: Sequence[float] | None = None,
     hosts: Sequence[int] | None = None,
+    switch_accounts: "dict | None" = None,
 ) -> tuple[SwitchSavings, ...]:
     """Per-switch savings rollup over a replay's managed HCA accounts.
 
@@ -123,6 +124,14 @@ def fabric_switch_rollup(
     identity: cluster jobs occupy an arbitrary placement-chosen host
     set, so ``hosts[i]`` names the fabric host whose HCA link
     ``accounts[i]`` belongs to.
+
+    ``switch_accounts`` maps switch node -> the (closed) energy account
+    of that switch's *non-link* component, produced when the policy
+    registry gates whole switches (``policy:...,switch=gate``).  A
+    gated switch's row composes the diluted link savings with the
+    other-share savings its own timeline integrates to — the per-class
+    generalisation of :meth:`SwitchPowerModel.
+    switch_savings_with_deep_sleep_pct`, exact for any descent ladder.
     """
 
     if hosts is not None and len(hosts) != len(accounts):
@@ -145,6 +154,18 @@ def fabric_switch_rollup(
     for node in sorted(per_switch):
         savings = per_switch[node]
         radix = fabric.switches[node].radix
+        sacc = switch_accounts.get(node) if switch_accounts else None
+        if sacc is not None:
+            diluted = sum(savings) / radix if savings else 0.0
+            switch_pct = (
+                diluted * m.link_share
+                + 100.0 * sacc.savings_fraction() * m.other_share
+            )
+        else:
+            switch_pct = (
+                m.switch_savings_pct(sum(savings) / radix)
+                if savings else 0.0
+            )
         rows.append(
             SwitchSavings(
                 switch=str(node),
@@ -153,10 +174,7 @@ def fabric_switch_rollup(
                 link_savings_pct=(
                     sum(savings) / len(savings) if savings else 0.0
                 ),
-                switch_savings_pct=(
-                    m.switch_savings_pct(sum(savings) / radix)
-                    if savings else 0.0
-                ),
+                switch_savings_pct=switch_pct,
             )
         )
     return tuple(rows)

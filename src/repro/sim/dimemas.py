@@ -26,8 +26,18 @@ from ..network.fabric import Fabric
 from ..network.faults import NO_FAULTS, FabricPartitioned, parse_faults
 from ..network.links import Link, LinkPowerMode
 from ..network.topologies import DEFAULT_TOPOLOGY, parse_topology
-from ..power.controller import ManagedLink
-from ..power.model import aggregate
+from ..power.controller import ManagedLink, PowerEventCounters
+from ..power.model import PowerReport, aggregate
+from ..power.policies import (
+    DEFAULT_POLICY,
+    GatedSwitch,
+    IdleGatedLink,
+    LeveledLink,
+    PolicySpec,
+    _PowerShadow,
+    class_savings_rows,
+    parse_policy,
+)
 from ..power.switchpower import fabric_switch_rollup
 from ..power.states import WRPSParams
 from ..trace.trace import Trace
@@ -76,6 +86,12 @@ class ReplayConfig:
     #: a pure function of (seed, topology, spec), so every kernel and
     #: scheduler sees the identical fault timeline
     faults: str = NO_FAULTS
+    #: power-policy spec string (``"policy:hca=gate,trunk=width"``,
+    #: ``"none"``, ... — see :mod:`repro.power.policies`); selects which
+    #: link classes are managed and by which policy family.  The default
+    #: is the paper's setup (HCA gating only) and replays bit-for-bit
+    #: identically to the pre-registry pipeline
+    policy: str = DEFAULT_POLICY
 
     def __post_init__(self) -> None:
         if self.kernel not in KERNELS:
@@ -92,6 +108,8 @@ class ReplayConfig:
         parse_topology(self.topology)
         # same fail-fast for the fault spec (plan compiled per fabric)
         parse_faults(self.faults)
+        # and for the policy spec (controllers built per managed replay)
+        parse_policy(self.policy)
 
 
 def fabric_for(nranks: int, config: ReplayConfig | None = None) -> Fabric:
@@ -265,44 +283,54 @@ def replay_managed(
         )
     cfg = config or ReplayConfig()
     params = wrps or WRPSParams.paper()
+    spec = parse_policy(cfg.policy)
 
     # keyed by link object identity: the hook runs per below-full-width
     # hop on the replay hot path, and the fabric owns the link objects
-    # for the whole replay, so id() is stable and probe-allocation-free
-    managed: dict[int, ManagedLink] = {}
+    # for the whole replay, so id() is stable and probe-allocation-free.
+    # A link with several controllers (a trunk's idle gate composed with
+    # its endpoint switches' gates) maps to a tuple; the transfer waits
+    # for all of them (the components reactivate in parallel).
+    managed: dict[int, object] = {}
 
     def power_hook(link: Link, t_us: float) -> float:
         ml = managed.get(id(link))
         if ml is None:
             return link.ready_time(t_us)
+        if type(ml) is tuple:
+            ready = t_us
+            for c in ml:
+                r = c.request_full(t_us)
+                if r > ready:
+                    ready = r
+            return ready
         return ml.request_full(t_us)
 
     engine, fabric, world = _build_world(
         trace, cfg, power_hook=power_hook, fabric=fabric
     )
 
-    rank_links: list[ManagedLink] = []
-    wake_faults = fabric.wake_fault_model()
-    for rank in range(trace.nranks):
-        link = fabric.host_link(rank)
-        ml = ManagedLink.create(
-            link, params, wake_faults=wake_faults, wake_key=rank
-        )
-        managed[id(link)] = ml
-        rank_links.append(ml)
+    rank_links, trunk_links, gated_switches = _build_policy_controllers(
+        fabric, trace.nranks, spec, params, managed
+    )
 
     def on_shutdown(
         rank: int, t_us: float, timer_us: float, delay_us: float = 0.0
     ) -> None:
+        ml = rank_links[rank]
+        if ml is None:
+            # hca class unmanaged: the runtime's PPA overheads still
+            # perturb timing, but there is no link to turn off
+            return
         if delay_us > 0.0:
             # delayed turn-off (reactive baseline): route through the
             # event queue so per-link operations stay time-ordered
             engine.call_at(
                 t_us + delay_us,
-                lambda: rank_links[rank].shutdown(t_us + delay_us, timer_us),
+                lambda: ml.shutdown(t_us + delay_us, timer_us),
             )
         else:
-            rank_links[rank].shutdown(t_us, timer_us)
+            ml.shutdown(t_us, timer_us)
 
     progs = _resolve_programs(trace, cfg, programs)
     if progs is not None:
@@ -334,10 +362,20 @@ def replay_managed(
             )
     exec_time = _run_engine(engine)
 
-    for ml in rank_links:
+    hca_links = [ml for ml in rank_links if ml is not None]
+    for ml in hca_links:
         ml.finish(exec_time)
-    report = aggregate([ml.account for ml in rank_links], exec_time)
-    accounts = [ml.account for ml in rank_links]
+    for tl in trunk_links:
+        tl.finish(exec_time)
+    for gs in gated_switches:
+        gs.finish(exec_time)
+    if hca_links:
+        report = aggregate([ml.account for ml in hca_links], exec_time)
+        accounts = [ml.account for ml in hca_links]
+    else:
+        # hca class unmanaged: the paper's per-process average is vacuous
+        report = PowerReport(0.0, (), 0.0, 0, exec_time)
+        accounts = []
 
     fault_summary = fabric.fault_summary()
     if fault_summary is not None:
@@ -345,11 +383,19 @@ def replay_managed(
         # links, invisible to the fabric) into the replay's summary
         fault_summary = dataclasses.replace(
             fault_summary,
-            wake_timeouts=sum(ml.counters.wake_timeouts for ml in rank_links),
+            wake_timeouts=sum(ml.counters.wake_timeouts for ml in hca_links),
             wake_timeout_extra_us=sum(
-                ml.counters.wake_timeout_extra_us for ml in rank_links
+                ml.counters.wake_timeout_extra_us for ml in hca_links
             ),
         )
+
+    class_accounts: dict[str, list] = {}
+    if hca_links:
+        class_accounts["hca"] = accounts
+    if trunk_links:
+        class_accounts["trunk"] = [tl.account for tl in trunk_links]
+    if gated_switches:
+        class_accounts["switch"] = [gs.account for gs in gated_switches]
 
     return ManagedResult(
         trace_name=trace.name,
@@ -357,7 +403,10 @@ def replay_managed(
         exec_time_us=exec_time,
         baseline_exec_time_us=baseline_exec_time_us,
         power=report,
-        counters=[ml.counters for ml in rank_links],
+        counters=[
+            ml.counters if ml is not None else PowerEventCounters()
+            for ml in rank_links
+        ],
         event_logs=world.event_logs,
         displacement=displacement,
         grouping_thresholds_us=list(grouping_thresholds_us),
@@ -365,11 +414,95 @@ def replay_managed(
         accounts=accounts,
         topology=cfg.topology,
         switch_savings=fabric_switch_rollup(
-            fabric, accounts, link_savings_pct=report.per_link_savings_pct
+            fabric,
+            accounts,
+            link_savings_pct=report.per_link_savings_pct,
+            switch_accounts=(
+                {gs.node: gs.account for gs in gated_switches}
+                if gated_switches
+                else None
+            ),
         ),
         helper_spawns=world.helper_spawns,
         faults=fault_summary,
+        policy=spec.describe(),
+        class_savings=class_savings_rows(spec, class_accounts),
     )
+
+
+def _build_policy_controllers(
+    fabric: Fabric,
+    nranks: int,
+    spec: PolicySpec,
+    params: WRPSParams,
+    managed: dict[int, object],
+) -> tuple[list, list, list]:
+    """Instantiate the policy spec's controllers over one fabric.
+
+    Registers every controller in ``managed`` (keyed by link identity)
+    and returns ``(rank_links, trunk_links, gated_switches)``:
+    ``rank_links[rank]`` is that rank's prediction-driven HCA controller
+    (None when the hca class is unmanaged), the other two are the
+    reactive controllers in deterministic (sorted-node) order.
+
+    Reactive classes work by *pinning* their links' ``mode`` to LOW so
+    the fabric's power-block hook fires on every transfer through them
+    (the controllers do all timeline accounting themselves — the pinned
+    mode is purely the hook trigger).  When the switch class is active
+    the pinning covers HCA links too, so each HCA's prediction-driven
+    controller is rehomed onto a :class:`_PowerShadow` that carries its
+    FULL/LOW state machine without disturbing the pinned hook trigger.
+    """
+
+    wake_faults = fabric.wake_fault_model()
+    switch_active = spec.switch.active
+
+    rank_links: list = [None] * nranks
+    if spec.hca.active:
+        hca_params = spec.hca.wrps(params)
+        for rank in range(nranks):
+            link = fabric.host_link(rank)
+            target = _PowerShadow() if switch_active else link
+            if spec.hca.policy == "gate":
+                ml = ManagedLink.create(
+                    target, hca_params, wake_faults=wake_faults, wake_key=rank
+                )
+            else:
+                ml = LeveledLink.create(
+                    target, spec.hca, params,
+                    wake_faults=wake_faults, wake_key=rank,
+                )
+            rank_links[rank] = ml
+            managed[id(link)] = ml
+
+    trunk_links: list = []
+    if spec.trunk.active:
+        seen: set[int] = set()
+        for node in sorted(fabric.switches):
+            for link in fabric.switches[node].ports:
+                if link.is_host_link or id(link) in seen:
+                    continue
+                seen.add(id(link))
+                tl = IdleGatedLink.create(link, spec.trunk)
+                trunk_links.append(tl)
+                managed[id(link)] = tl
+                link.mode = LinkPowerMode.LOW
+
+    gated_switches: list = []
+    if switch_active:
+        for node in sorted(fabric.switches):
+            gs = GatedSwitch.create(fabric.switches[node], spec.switch)
+            gated_switches.append(gs)
+            for link in fabric.switches[node].ports:
+                prev = managed.get(id(link))
+                if prev is None:
+                    managed[id(link)] = gs
+                elif type(prev) is tuple:
+                    managed[id(link)] = prev + (gs,)
+                else:
+                    managed[id(link)] = (prev, gs)
+                link.mode = LinkPowerMode.LOW
+    return rank_links, trunk_links, gated_switches
 
 
 def _run_engine(engine: Engine) -> float:

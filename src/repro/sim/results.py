@@ -89,6 +89,14 @@ class ManagedResult:
     #: ``baseline_exec_time_us`` is its *isolated* managed span, so
     #: ``exec_time_increase_pct`` reads as slowdown-vs-isolated.
     cluster: object | None = None
+    #: canonical power-policy spec this replay ran under
+    #: (:meth:`repro.power.policies.PolicySpec.describe`)
+    policy: str = "policy:hca=gate"
+    #: per-link-class energy rollup
+    #: (:class:`repro.power.policies.ClassSavings` rows, canonical class
+    #: order) — one row per *managed* class, so the default spec yields
+    #: a single hca row
+    class_savings: tuple = ()
 
     @property
     def fleet_switch_savings_pct(self) -> float:
@@ -113,6 +121,21 @@ class ManagedResult:
         """The Figures 7-9(a) metric."""
 
         return self.power.mean_savings_pct
+
+    def class_savings_for(self, link_class: str):
+        """The :class:`ClassSavings` row of one link class, or None."""
+
+        for row in self.class_savings:
+            if row.link_class == link_class:
+                return row
+        return None
+
+    @property
+    def trunk_savings_pct(self) -> float:
+        """Mean energy savings over managed trunk links (0 if unmanaged)."""
+
+        row = self.class_savings_for("trunk")
+        return row.savings_pct if row is not None else 0.0
 
     @property
     def total_shutdowns(self) -> int:

@@ -233,3 +233,14 @@ class TestValidation:
             FabricSlice(fabric, (0, 0, 1))
         with pytest.raises(ValueError, match="outside"):
             FabricSlice(fabric, (0, 99))
+
+    def test_non_default_policy_rejected(self, prepared):
+        """Trunk/switch gating across tenant episode handoffs is out of
+        scope: the scheduler refuses loudly instead of reporting numbers
+        the accounting model does not back."""
+
+        cfg = ReplayConfig(seed=SEED, policy="policy:hca=gate,trunk=gate")
+        with pytest.raises(ValueError, match="default power policy"):
+            replay_cluster_managed(
+                [one_job(prepared, managed=True)], cfg, num_hosts=NRANKS,
+            )

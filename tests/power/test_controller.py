@@ -50,6 +50,11 @@ class TestShutdown:
         assert ml.shutdown(0.0, timer_us=100.0)
         assert not ml.shutdown(20.0, timer_us=100.0)  # still LOW
         assert ml.counters.shutdowns == 1
+        # rejected-while-not-FULL is its own counter, distinct from the
+        # too-short-timer skip; their sum is the pre-split skip count
+        assert ml.counters.skipped_not_full == 1
+        assert ml.counters.skipped_too_short == 0
+        assert ml.counters.skipped_directives == 1
 
     def test_shutdown_after_cycle_ok(self):
         ml = make_ml()
