@@ -28,12 +28,18 @@
 #                     class, plus trunk and switch management), each
 #                     verified fast == reference kernel including the
 #                     per-class savings rows
+#   make service-smoke gate the simulation service end-to-end against a
+#                     real daemon subprocess: cold == warm bit-for-bit
+#                     (warm costs zero pipeline stages), worker SIGKILL
+#                     mid-request -> structured error + daemon survives,
+#                     full admission queue -> SERVICE_BUSY shed, SIGTERM
+#                     drains queued work and exits 0
 
 PY ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast test-full bench bench-smoke bench-record \
-	topo-smoke fault-smoke cluster-smoke policy-smoke
+	topo-smoke fault-smoke cluster-smoke policy-smoke service-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -72,3 +78,6 @@ policy-smoke:
 		"policy:hca=scale" "policy:hca=gate,trunk=gate" \
 		"policy:hca=gate,trunk=width:levels=3,switch=gate" \
 		--verify
+
+service-smoke:
+	$(PY) -m repro.service.smoke

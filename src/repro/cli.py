@@ -15,6 +15,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli fault-sweep [--verify] [--faults none faults:...]
     python -m repro.cli cluster-sweep [--verify] [--jobs poisson:n=3,...]
     python -m repro.cli bench [--smoke] [--topology torus:n=2]
+    python -m repro.cli serve [--socket PATH] [--queue-limit 32]
+    python -m repro.cli query cell --app alya --nranks 8 [--timeout 30]
 
 Each subcommand prints the regenerated table/figure; ``--csv PATH``
 additionally writes machine-readable output.  ``gen``/``replay`` export
@@ -53,6 +55,15 @@ it fails on a >3x slowdown against the recorded reference, and with
 ``--profile`` it captures both the baseline and the managed replay
 stages under cProfile, prints the
 top functions and dumps the stats next to the benchmark output.
+``serve`` runs the resident simulation daemon (``repro.service``): a
+Unix-socket server with warm LRU caches of compiled traces, built
+fabrics and planning passes, a bounded admission queue with explicit
+``SERVICE_BUSY`` shedding, per-request deadlines, idempotent request
+keys and drain-then-exit on SIGTERM; warm results are bit-for-bit
+identical to cold runs.  ``query`` is the matching blocking client
+(``ping``/``stats``/``cell``/``shutdown``) with capped jittered retry
+backoff; structured failures map to exit codes (3 busy, 4 deadline,
+5 execution error, 6 unavailable).
 """
 
 from __future__ import annotations
@@ -390,6 +401,73 @@ def _cmd_bench(args) -> None:
           f"{perf.MAX_SLOWDOWN:.0f}x of the reference)")
 
 
+def _cmd_serve(args) -> None:
+    from .service import ServiceConfig, ServiceDaemon
+
+    config = ServiceConfig.from_env(
+        socket_path=args.socket,
+        queue_limit=args.queue_limit,
+        deadline_s=args.deadline,
+        cache_cells=args.cache_cells,
+        retries=args.retries,
+        workers=args.workers,
+        test_hooks=args.test_hooks or None,
+    )
+    daemon = ServiceDaemon(config)
+    print(f"[serving on {config.socket_path} "
+          f"(queue={config.queue_limit}, cache={config.cache_cells} cells"
+          f"{', test hooks ON' if config.test_hooks else ''})]",
+          file=sys.stderr, flush=True)
+    raise SystemExit(daemon.serve_forever())
+
+
+def _cmd_query(args) -> None:
+    import json
+
+    from .service import ServiceClient
+    from .service.client import (
+        ServiceBusy,
+        ServiceError,
+        ServiceTimeout,
+        ServiceUnavailable,
+    )
+
+    client = ServiceClient(
+        args.socket, retries=args.retries,
+        connect_timeout_s=args.connect_timeout,
+    )
+    try:
+        if args.op == "ping":
+            reply = {"result": client.ping()}
+        elif args.op == "stats":
+            reply = {"result": client.stats()}
+        elif args.op == "shutdown":
+            reply = {"result": client.shutdown()}
+        else:  # cell
+            spec = {"app": args.app, "nranks": args.nranks}
+            for field in ("displacement", "iterations", "seed", "scaling",
+                          "topology", "kernel", "scheduler", "faults",
+                          "policy"):
+                value = getattr(args, field)
+                if value is not None:
+                    spec[field] = value
+            reply = client.cell(timeout_s=args.timeout, **spec)
+    except ServiceBusy as exc:
+        print(f"query: daemon busy: {exc} {exc.details}", file=sys.stderr)
+        raise SystemExit(3)
+    except ServiceTimeout as exc:
+        print(f"query: deadline exceeded: {exc} {exc.details}",
+              file=sys.stderr)
+        raise SystemExit(4)
+    except ServiceUnavailable as exc:
+        print(f"query: {exc}", file=sys.stderr)
+        raise SystemExit(6)
+    except ServiceError as exc:
+        print(f"query: {exc.code}: {exc} {exc.details}", file=sys.stderr)
+        raise SystemExit(5)
+    print(json.dumps(reply, indent=2, sort_keys=True))
+
+
 def _positive_int(raw: str) -> int:
     """argparse type for counts that must be >= 1 (e.g. ``--workers``)."""
 
@@ -625,6 +703,73 @@ def build_parser() -> argparse.ArgumentParser:
     topology_option(p)
     common(p)
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the resident simulation daemon on a Unix socket",
+    )
+    p.add_argument("--socket", default=None,
+                   help="Unix socket path (default: REPRO_SERVICE_SOCKET "
+                        "or a per-user path under the temp dir)")
+    p.add_argument("--queue-limit", type=_positive_int, default=None,
+                   help="bounded admission queue depth; beyond it requests "
+                        "are shed with SERVICE_BUSY (default: "
+                        "REPRO_SERVICE_QUEUE or 32)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="default per-request deadline in seconds (default: "
+                        "REPRO_SERVICE_TIMEOUT_S or none)")
+    p.add_argument("--cache-cells", type=_positive_int, default=None,
+                   help="LRU capacity for warm cell artefact bundles "
+                        "(default: REPRO_SERVICE_CACHE_CELLS or 8)")
+    p.add_argument("--retries", type=int, default=None,
+                   help="worker retries for sweep fan-outs (default: "
+                        "REPRO_SERVICE_RETRIES or 0)")
+    p.add_argument("--workers", type=_positive_int, default=None,
+                   help="worker processes for sweep fan-outs (default: "
+                        "REPRO_WORKERS or 1)")
+    p.add_argument("--test-hooks", action="store_true",
+                   help="enable the test-only failpoints (block/unblock, "
+                        "kill_worker, hang_worker) — never in production")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "query",
+        help="query a running simulation daemon (blocking client)",
+    )
+    p.add_argument("op", choices=("ping", "stats", "cell", "shutdown"),
+                   help="operation: health check, counters, one cell "
+                        "run/replay, or drain-then-exit")
+    p.add_argument("--socket", default=None,
+                   help="Unix socket path (default: REPRO_SERVICE_SOCKET "
+                        "or the per-user default)")
+    p.add_argument("--app", default="alya", choices=APPLICATIONS)
+    p.add_argument("--nranks", type=int, default=8)
+    p.add_argument("--displacement", type=float, default=None)
+    p.add_argument("--iterations", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--scaling", default=None, choices=("strong", "weak"))
+    p.add_argument("--kernel", default=None, choices=("fast", "reference"))
+    p.add_argument("--scheduler", default=None,
+                   choices=("calendar", "heap"))
+    p.add_argument("--topology", default=None,
+                   help="topology spec 'family[:key=value,...]'. Families: "
+                        + topology_help())
+    p.add_argument("--faults", default=None,
+                   help="fault spec (default none). Grammar: "
+                        + faults_help())
+    p.add_argument("--policy", default=None,
+                   help="power-policy spec. Grammar: " + policy_help())
+    p.add_argument("--timeout", type=float, default=None,
+                   help="server-side deadline for this request in seconds; "
+                        "expiry returns a structured DEADLINE_EXCEEDED "
+                        "error (exit code 4)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="client retries for connect failures and "
+                        "SERVICE_BUSY sheds, with capped jittered "
+                        "exponential backoff (default 3)")
+    p.add_argument("--connect-timeout", type=float, default=5.0,
+                   help="socket connect timeout in seconds (default 5)")
+    p.set_defaults(func=_cmd_query, workers=None)
 
     return parser
 

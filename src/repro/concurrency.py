@@ -26,11 +26,14 @@ failure.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
 _T = TypeVar("_T")
@@ -152,29 +155,80 @@ def parallel_map(
         return list(pool.map(fn, items))
 
 
+def backoff_delay(
+    attempt: int,
+    base_s: float,
+    cap_s: float = 5.0,
+    token: str = "",
+) -> float:
+    """Capped exponential backoff with *deterministic* jitter.
+
+    ``attempt`` is 1-based; the raw delay ``base_s * 2**(attempt-1)`` is
+    capped at ``cap_s`` and then scaled into ``[0.5, 1.0]`` of itself by
+    a jitter factor derived from ``sha256(token, attempt)`` — no RNG
+    state, so the same (token, attempt) always sleeps the same amount
+    and retry schedules are reproducible while still decorrelating
+    items that share a token prefix.
+    """
+
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt!r}")
+    raw = min(float(cap_s), float(base_s) * (2.0 ** (attempt - 1)))
+    digest = hashlib.sha256(f"{token}:{attempt}".encode()).digest()
+    frac = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF
+    return raw * (0.5 + 0.5 * frac)
+
+
+@dataclass(frozen=True, slots=True)
+class AttemptFailure:
+    """One failed attempt of one grid item (structured retry history)."""
+
+    kind: str          # "crashed" | "stalled"
+    duration_s: float  # wall-clock time the attempt ran before failing
+    detail: str        # human-readable cause
+
+
 class CellExecutionError(RuntimeError):
     """A grid item kept crashing or stalling after its retry budget.
 
     ``kind`` is ``"crashed"`` (worker died without raising — OOM kill,
     abort, broken pool) or ``"stalled"`` (exceeded the per-item
     timeout); ``label`` names the item so a 300-cell grid failure is
-    actionable.
+    actionable.  ``history`` carries one :class:`AttemptFailure` per
+    failed attempt — kind, wall-clock duration, detail — so a
+    post-mortem can distinguish "died instantly every time" from
+    "ran 58s, then the timeout cut it" without re-running the grid.
+    The error is pickle-safe (it crosses process boundaries).
     """
 
-    def __init__(self, label: str, kind: str, attempts: int, detail: str = ""):
+    def __init__(
+        self,
+        label: str,
+        kind: str,
+        attempts: int,
+        detail: str = "",
+        history: Sequence[AttemptFailure] = (),
+    ):
         self.label = label
         self.kind = kind
         self.attempts = attempts
         self.detail = detail
+        self.history = tuple(history)
         msg = f"cell {label} {kind} in all {attempts} attempts"
         if detail:
             msg += f" ({detail})"
+        if self.history:
+            msg += " [" + "; ".join(
+                f"attempt {i + 1}: {h.kind} after {h.duration_s:.2f}s"
+                for i, h in enumerate(self.history)
+            ) + "]"
         super().__init__(msg)
 
     def __reduce__(self):
         return (
             CellExecutionError,
-            (self.label, self.kind, self.attempts, self.detail),
+            (self.label, self.kind, self.attempts, self.detail,
+             self.history),
         )
 
 
@@ -197,6 +251,7 @@ def run_resilient(
     timeout_s: float | None = None,
     retries: int = 2,
     backoff_s: float = 0.25,
+    backoff_cap_s: float = 5.0,
     label: Callable[[_T], str] | None = None,
     fallback: bool = True,
     on_result: Callable[[int, _R], None] | None = None,
@@ -221,6 +276,14 @@ def run_resilient(
     renders an item for error messages; ``on_result`` observes each
     ``(index, result)`` as it lands (checkpointing hook).  Results are
     returned in input order.
+
+    Between retry rounds the fan-out sleeps :func:`backoff_delay`:
+    exponential in the round number, capped at ``backoff_cap_s``, with
+    deterministic jitter — a 300-cell grid cannot end up sleeping
+    minutes because of a linear-in-rounds backoff, and two reruns of
+    the same grid sleep identically.  Every failed attempt is recorded
+    as an :class:`AttemptFailure`; when the budget is spent the raised
+    :class:`CellExecutionError` carries the full per-attempt history.
     """
 
     items = list(items)
@@ -241,14 +304,28 @@ def run_resilient(
 
     pending = list(range(len(items)))
     attempts = [0] * len(items)
+    history: list[list[AttemptFailure]] = [[] for _ in items]
     round_no = 0
     while pending:
         if round_no:
-            time.sleep(backoff_s * round_no)
+            time.sleep(
+                backoff_delay(
+                    round_no, backoff_s, backoff_cap_s,
+                    token=f"run_resilient:{len(items)}",
+                )
+            )
         round_no += 1
         crashed: list[int] = []
         stalled: list[int] = []
         pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+
+        def _note(idx: int, kind: str, detail: str) -> None:
+            history[idx].append(
+                AttemptFailure(
+                    kind, time.monotonic() - started[idx], detail
+                )
+            )
+
         try:
             futures = {}
             started = {}
@@ -277,6 +354,7 @@ def run_resilient(
                         # pool) died without raising
                         pool_broken = True
                         crashed.append(idx)
+                        _note(idx, "crashed", "worker died without raising")
                     except CellExecutionError:
                         raise
                     except Exception:
@@ -286,7 +364,10 @@ def run_resilient(
                         raise
                 if pool_broken:
                     # every future still outstanding is lost with the pool
-                    crashed.extend(futures[f] for f in not_done)
+                    for f in not_done:
+                        crashed.append(futures[f])
+                        _note(futures[f], "crashed",
+                              "lost with the broken pool")
                     not_done = set()
                     break
                 if timeout_s is not None and not_done:
@@ -300,11 +381,16 @@ def run_resilient(
                         # a stalled worker cannot be interrupted from
                         # the outside; kill the whole pool and retry
                         # everything unfinished in a fresh one
-                        stalled.extend(futures[f] for f in timed_out)
-                        crashed.extend(
-                            futures[f] for f in not_done
-                            if f not in timed_out
-                        )
+                        for f in timed_out:
+                            stalled.append(futures[f])
+                            _note(futures[f], "stalled",
+                                  f"exceeded timeout_s={timeout_s}")
+                        for f in not_done:
+                            if f not in timed_out:
+                                crashed.append(futures[f])
+                                _note(futures[f], "crashed",
+                                      "pool killed alongside a stalled "
+                                      "sibling")
                         _terminate_workers(pool)
                         not_done = set()
         finally:
@@ -327,6 +413,7 @@ def run_resilient(
                     name(items[idx]), kind, attempts[idx],
                     detail=f"timeout_s={timeout_s}" if kind == "stalled"
                     else "worker died without raising",
+                    history=tuple(history[idx]),
                 )
         pending.sort()
     return results
@@ -338,8 +425,14 @@ class ResultJournal:
     Each completed cell appends one ``(key, value)`` record; a rerun
     loads the journal and serves completed cells without recomputing
     them, so a grid that died 80% through resumes rather than restarts.
-    Torn trailing records (the process died mid-write) are tolerated
-    and dropped.
+
+    Crash safety: every append is flushed *and* fsynced before the cell
+    is considered checkpointed, so a SIGKILL between cells loses at most
+    the record being written.  ``load()`` tolerates exactly that — a
+    torn trailing record (partial header or truncated body) is dropped
+    with a :class:`RuntimeWarning` naming the file and byte offset, and
+    every intact record before it is still served; the resume recomputes
+    only the torn cell instead of raising and poisoning the whole rerun.
     """
 
     def __init__(self, path: str):
@@ -349,19 +442,34 @@ class ResultJournal:
         out: dict = {}
         try:
             with open(self.path, "rb") as fh:
+                size = os.fstat(fh.fileno()).st_size
                 while True:
+                    offset = fh.tell()
+                    if offset >= size:
+                        break  # clean end of journal
                     try:
                         key, value = pickle.load(fh)
-                    except EOFError:
+                    except Exception as exc:
+                        # torn trailing record (SIGKILL mid-append):
+                        # keep every intact record, warn, and let the
+                        # rerun recompute the lost cell
+                        warnings.warn(
+                            f"journal {self.path}: dropping torn trailing "
+                            f"record at byte {offset} of {size} "
+                            f"({type(exc).__name__}: {exc}); "
+                            f"{len(out)} intact record(s) kept",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
                         break
-                    except Exception:
-                        break  # torn trailing record: keep what we have
                     out[key] = value
         except FileNotFoundError:
             pass
         return out
 
     def append(self, key, value) -> None:
+        # flush + fsync before returning: once run_cells reports a cell
+        # checkpointed, not even a power cut may un-checkpoint it
         with open(self.path, "ab") as fh:
             pickle.dump((key, value), fh, protocol=pickle.HIGHEST_PROTOCOL)
             fh.flush()

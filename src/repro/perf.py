@@ -37,7 +37,16 @@ process-cumulative: the bench starts from a cleared schedule cache
 (which also zeroes the hit/miss counters); for reporting against a
 warm cache that must not be cleared,
 ``schedule_cache_stats(since=...)`` returns the equivalent
-non-destructive delta.  ``replay_detail`` is informational — only
+non-destructive delta.  Schema 9 additionally times the **simulation service** round trip: an
+in-process :class:`repro.service.ServiceDaemon` is started on a
+throwaway socket and queried twice for the same cell —
+``query_cold_s`` pays the full pipeline plus the protocol overhead,
+``query_warm_s`` must be served entirely from the daemon's warm caches
+(the bench refuses to record a "warm" query that re-ran any pipeline
+stage), so the recorded ratio *is* the service's value proposition and
+a cache regression fails the recording itself.  The daemon's cache and
+stage-run counters land in ``replay_detail["service"]``.
+``replay_detail`` is informational — only
 ``stages`` is gated.  ``profile_path``
 (``repro.cli bench --profile``) additionally captures the two
 default-path replay stages under :mod:`cProfile` and dumps the stats
@@ -58,7 +67,7 @@ from .constants import DISPLACEMENT_FACTORS
 MAX_SLOWDOWN = 3.0
 
 #: benchmark schema version (bump when stages change incomparably)
-SCHEMA = 8
+SCHEMA = 9
 
 
 def _repo_root() -> pathlib.Path:
@@ -294,6 +303,54 @@ def run_pipeline_benchmark(
             "the managed-replay fast path is spawn-free by contract"
         )
 
+    # schema 9: the simulation-service round trip, cold then warm, via
+    # a real socket against an in-process daemon — the warm query must
+    # be served entirely from the daemon's caches (stage counters), so
+    # the cold/warm ratio below is a recorded, gate-able fact
+    service_stats = None
+    if not profiler.profile:  # service timings are meaningless profiled
+        import os
+        import tempfile
+
+        from .service import ServiceClient, ServiceConfig, ServiceDaemon
+
+        sock = os.path.join(
+            tempfile.mkdtemp(prefix="repro-bench-service-"), "bench.sock"
+        )
+        daemon = ServiceDaemon(ServiceConfig(socket_path=sock))
+        daemon.start()
+        try:
+            client = ServiceClient(sock, retries=0)
+            spec = dict(
+                app=app, nranks=nranks, displacement=displacements[0],
+                iterations=iters, seed=seed, topology=topology,
+                faults=faults, policy=policy,
+            )
+            t0 = time.perf_counter()
+            cold_reply = client.cell(**spec)
+            stages["query_cold_s"] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            warm_reply = client.cell(**spec)
+            stages["query_warm_s"] = time.perf_counter() - t0
+            if warm_reply["stages_ran"]:
+                raise RuntimeError(
+                    "service warm query re-ran pipeline stage(s) "
+                    f"{warm_reply['stages_ran']}; a warm hit must cost "
+                    "zero stages by contract"
+                )
+            if warm_reply["result"] != cold_reply["result"]:
+                raise RuntimeError(
+                    "service warm reply differs from the cold reply; "
+                    "the warm == cold determinism contract is broken"
+                )
+            daemon_stats = daemon.stats()
+            service_stats = {
+                "caches": daemon_stats["caches"],
+                "stage_runs": daemon_stats["stage_runs"],
+            }
+        finally:
+            daemon.stop(drain=True)
+
     cache = schedule_cache_stats()
     result = {
         "schema": SCHEMA,
@@ -342,6 +399,10 @@ def run_pipeline_benchmark(
                 None if baseline.faults is None
                 else dataclasses.asdict(baseline.faults)
             ),
+            # schema 9: daemon-side cache hit/miss/eviction counters and
+            # per-stage run counts behind query_cold_s/query_warm_s
+            # (None under --profile, where the service stages are skipped)
+            "service": service_stats,
         },
     }
     if profile_path is not None:
@@ -432,5 +493,14 @@ def format_benchmark(result: Mapping) -> str:
                 f"{row['seconds'] * 1e3:8.1f} ms "
                 f"(exec {row['exec_time_us'] / 1e3:.3f} ms, "
                 f"{row['helper_spawns']} spawns)"
+            )
+        service = detail.get("service")
+        if service:
+            caches = service["caches"]
+            lines.append(
+                "  service detail: result cache "
+                f"{caches['results']['hits']} hits / "
+                f"{caches['results']['misses']} misses, "
+                f"cell bundles {caches['cells']['size']} resident"
             )
     return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Simulation-as-a-service: resident daemon, warm caches, blocking client.
+
+Every CLI invocation pays trace generation, program compilation, fabric
+construction and route precompilation from cold, even though the warm
+replay itself costs ~0.1s.  This package turns the pipeline into a
+long-running service:
+
+* :mod:`repro.service.protocol` — length-prefixed JSON framing over a
+  Unix socket, structured error codes;
+* :mod:`repro.service.caches` — LRU caches of compiled traces, built
+  fabrics (with precompiled route/hop tables) and planning passes,
+  keyed by the full cell spec, with per-stage run counters so "a warm
+  query costs one replay" is an asserted invariant, not a hope;
+* :mod:`repro.service.daemon` — the resident server: bounded admission
+  queue with explicit overload shedding (``SERVICE_BUSY``), per-request
+  deadlines, idempotent request keys, worker-crash passthrough
+  (structured :class:`~repro.concurrency.CellExecutionError` replies),
+  ``ping``/``stats`` health endpoints, drain-then-exit on SIGTERM;
+* :mod:`repro.service.client` — blocking client with connect/request
+  timeouts and capped, deterministically jittered retry backoff;
+* :mod:`repro.service.smoke` — the end-to-end ``make service-smoke``
+  gate (cold == warm bit-for-bit, worker SIGKILL survival, overload
+  shedding, SIGTERM drain).
+
+Determinism contract: a warm cache hit is **bit-for-bit identical** to
+a cold run — across cache evictions and daemon restarts — pinned by the
+service test tier (``tests/service/``).
+"""
+
+from .caches import WarmPipeline, cell_payload, compute_cell_payload
+from .client import (
+    ServiceBusy,
+    ServiceClient,
+    ServiceError,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
+from .daemon import ServiceConfig, ServiceDaemon, default_socket_path
+
+__all__ = [
+    "ServiceBusy",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "ServiceError",
+    "ServiceTimeout",
+    "ServiceUnavailable",
+    "WarmPipeline",
+    "cell_payload",
+    "compute_cell_payload",
+    "default_socket_path",
+]

@@ -1,0 +1,206 @@
+"""Blocking client for the simulation service.
+
+:class:`ServiceClient` opens one Unix-socket connection per request,
+frames the message (:mod:`repro.service.protocol`), and maps the reply
+envelope onto Python: success returns the reply dict, structured errors
+raise typed exceptions carrying the error code and details.
+
+Retry discipline:
+
+* **connect failures** (daemon not up yet, stale socket) and
+  **overload sheds** (``SERVICE_BUSY``) are retried up to ``retries``
+  times with capped, deterministically jittered exponential backoff
+  (:func:`repro.concurrency.backoff_delay` keyed by the request id, so
+  two clients hammering a busy daemon don't retry in lockstep);
+* the ``request_id`` is generated **once** and reused verbatim across
+  retries — the daemon's idempotency layer guarantees a retried request
+  joins the in-flight execution or replays the recorded reply, never
+  double-runs the cell;
+* ``DEADLINE_EXCEEDED`` is *not* retried (the deadline was the budget);
+  it raises :class:`ServiceTimeout`.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+import uuid
+
+from ..concurrency import backoff_delay
+from . import protocol
+
+
+class ServiceError(RuntimeError):
+    """A structured error reply from the daemon (``error.code`` and the
+    remaining detail fields are preserved on the exception)."""
+
+    def __init__(self, message: str, code: str = protocol.INTERNAL_ERROR,
+                 details: dict | None = None):
+        super().__init__(message)
+        self.code = code
+        self.details = dict(details or {})
+
+
+class ServiceBusy(ServiceError):
+    """Admission queue full and the retry budget is spent."""
+
+
+class ServiceTimeout(ServiceError):
+    """The per-request deadline expired (server- or client-side)."""
+
+
+class ServiceUnavailable(ServiceError):
+    """Could not reach a daemon on the socket within the retry budget."""
+
+
+class ServiceClient:
+    """Blocking client. Safe to construct cheaply; one socket per request.
+
+    ``request_timeout_s`` bounds the *client-side* wait for a reply; the
+    per-request ``timeout_s`` (when given) is also sent to the daemon as
+    the server-side deadline, and the client waits slightly longer than
+    the server so the structured ``DEADLINE_EXCEEDED`` reply — which
+    names where the request died — wins over a bare socket timeout.
+    """
+
+    #: client-side slack on top of a server-side deadline (seconds)
+    DEADLINE_SLACK_S = 5.0
+
+    def __init__(self, socket_path: str | None = None, *,
+                 connect_timeout_s: float = 5.0,
+                 request_timeout_s: float | None = None,
+                 retries: int = 3,
+                 backoff_s: float = 0.05,
+                 backoff_cap_s: float = 2.0):
+        from .daemon import default_socket_path
+
+        self.socket_path = socket_path or default_socket_path()
+        self.connect_timeout_s = connect_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+
+    # -- plumbing -----------------------------------------------------
+
+    def _reply_wait_s(self, message: dict) -> float | None:
+        deadline = message.get("timeout_s")
+        if deadline is not None:
+            return float(deadline) + self.DEADLINE_SLACK_S
+        return self.request_timeout_s
+
+    def _roundtrip(self, message: dict) -> dict:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(self.connect_timeout_s)
+            sock.connect(self.socket_path)
+            protocol.send_message(sock, message)
+            sock.settimeout(self._reply_wait_s(message))
+            reply = protocol.recv_message(sock)
+        finally:
+            sock.close()
+        if reply is None:
+            raise protocol.ProtocolError(
+                "daemon closed the connection without replying"
+            )
+        return reply
+
+    def request(self, message: dict) -> dict:
+        """Send one request (with retries) and return the ``ok`` reply.
+
+        Raises :class:`ServiceUnavailable`, :class:`ServiceBusy`,
+        :class:`ServiceTimeout` or :class:`ServiceError` on failure.
+        """
+
+        message = dict(message)
+        request_id = str(message.setdefault("request_id", uuid.uuid4().hex))
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                reply = self._roundtrip(message)
+            except (TimeoutError, socket.timeout) as exc:
+                # reply-wait expired: the deadline is the budget, and a
+                # blind retry would just wait it out again — surface it
+                raise ServiceTimeout(
+                    f"no reply from {self.socket_path} within the "
+                    "client-side wait",
+                    code=protocol.DEADLINE_EXCEEDED,
+                    details={"client_side": True},
+                ) from exc
+            except (OSError, protocol.ProtocolError) as exc:
+                if attempt > self.retries:
+                    raise ServiceUnavailable(
+                        f"cannot reach simulation daemon on "
+                        f"{self.socket_path}: {exc}",
+                        code="UNAVAILABLE",
+                    ) from exc
+                time.sleep(backoff_delay(
+                    attempt, self.backoff_s, self.backoff_cap_s,
+                    token=request_id,
+                ))
+                continue
+            if reply.get("ok"):
+                return reply
+            error = reply.get("error") or {}
+            code = error.get("code", protocol.INTERNAL_ERROR)
+            text = error.get("message", "unspecified service error")
+            details = {
+                k: v for k, v in error.items()
+                if k not in ("code", "message")
+            }
+            if code == protocol.SERVICE_BUSY and attempt <= self.retries:
+                time.sleep(backoff_delay(
+                    attempt, self.backoff_s, self.backoff_cap_s,
+                    token=request_id,
+                ))
+                continue
+            if code == protocol.SERVICE_BUSY:
+                raise ServiceBusy(text, code=code, details=details)
+            if code == protocol.DEADLINE_EXCEEDED:
+                raise ServiceTimeout(text, code=code, details=details)
+            raise ServiceError(text, code=code, details=details)
+
+    # -- typed operations ---------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})["result"]
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["result"]
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})["result"]
+
+    def cell(self, *, timeout_s: float | None = None,
+             request_id: str | None = None, **spec) -> dict:
+        """Run (or replay from cache) one cell; returns the full reply
+        (``result`` payload plus ``stages_ran`` metadata)."""
+
+        message: dict = {"op": "cell", "spec": spec}
+        if timeout_s is not None:
+            message["timeout_s"] = timeout_s
+        if request_id is not None:
+            message["request_id"] = request_id
+        return self.request(message)
+
+    def sweep(self, specs: list[dict], *, workers: int | None = None,
+              retries: int | None = None,
+              timeout_s: float | None = None,
+              failpoint: str | None = None,
+              request_id: str | None = None) -> dict:
+        """Run a batch of cells (fanned out over worker processes when
+        ``workers > 1``); returns the full reply."""
+
+        message: dict = {"op": "sweep", "specs": list(specs)}
+        if workers is not None:
+            message["workers"] = workers
+        if retries is not None:
+            message["retries"] = retries
+        if timeout_s is not None:
+            message["timeout_s"] = timeout_s
+        if failpoint is not None:
+            message["failpoint"] = failpoint
+        if request_id is not None:
+            message["request_id"] = request_id
+        return self.request(message)

@@ -27,6 +27,12 @@ def pytest_configure(config):
         "shared-fabric scheduling; tests/README.md describes what it "
         "pins)",
     )
+    config.addinivalue_line(
+        "markers",
+        "service: simulation-service tier (daemon admission/backpressure, "
+        "warm-cache determinism, crash isolation; tests/README.md "
+        "describes what it pins)",
+    )
 
 
 def make_event_stream(pattern, *, call_dur_us=3.0, start_us=0.0):

@@ -1,0 +1,151 @@
+"""Framing tier: the length-prefixed JSON protocol survives arbitrary
+payloads, and every way a peer can violate it is a ProtocolError, not a
+hang or a silent truncation."""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import protocol
+
+pytestmark = pytest.mark.service
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+messages = st.dictionaries(st.text(max_size=15), json_values, max_size=6)
+
+
+def _pair():
+    return socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+
+
+@settings(max_examples=50, deadline=None)
+@given(message=messages)
+def test_round_trip_any_json_object(message):
+    a, b = _pair()
+    try:
+        protocol.send_message(a, message)
+        received = protocol.recv_message(b)
+    finally:
+        a.close()
+        b.close()
+    assert received == message
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    value=st.floats(allow_nan=False, allow_infinity=False),
+)
+def test_floats_survive_the_wire_bit_for_bit(value):
+    # the warm == cold determinism contract depends on this: json dumps
+    # floats via repr, which round-trips exactly
+    a, b = _pair()
+    try:
+        protocol.send_message(a, {"v": value})
+        received = protocol.recv_message(b)
+    finally:
+        a.close()
+        b.close()
+    assert received["v"] == value
+    assert struct.pack("<d", received["v"]) == struct.pack("<d", value)
+
+
+def test_clean_close_between_frames_is_none():
+    a, b = _pair()
+    protocol.send_message(a, {"op": "ping"})
+    a.close()
+    try:
+        assert protocol.recv_message(b) == {"op": "ping"}
+        assert protocol.recv_message(b) is None
+    finally:
+        b.close()
+
+
+def test_eof_mid_header_is_protocol_error():
+    a, b = _pair()
+    a.sendall(b"\x00\x00")  # half a header, then gone
+    a.close()
+    try:
+        with pytest.raises(protocol.ProtocolError, match="mid-frame"):
+            protocol.recv_message(b)
+    finally:
+        b.close()
+
+
+def test_eof_mid_payload_is_protocol_error():
+    a, b = _pair()
+    payload = json.dumps({"op": "ping"}).encode()
+    a.sendall(struct.pack(">I", len(payload)) + payload[:3])
+    a.close()
+    try:
+        with pytest.raises(protocol.ProtocolError, match="mid-frame"):
+            protocol.recv_message(b)
+    finally:
+        b.close()
+
+
+def test_oversize_announced_frame_rejected_without_allocating():
+    a, b = _pair()
+    a.sendall(struct.pack(">I", protocol.MAX_FRAME_BYTES + 1))
+    try:
+        with pytest.raises(protocol.ProtocolError, match="announced"):
+            protocol.recv_message(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_garbage_payload_is_protocol_error():
+    a, b = _pair()
+    garbage = b"\xff\xfe not json"
+    a.sendall(struct.pack(">I", len(garbage)) + garbage)
+    try:
+        with pytest.raises(protocol.ProtocolError, match="JSON"):
+            protocol.recv_message(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_non_object_frame_is_protocol_error():
+    a, b = _pair()
+    payload = json.dumps([1, 2, 3]).encode()
+    a.sendall(struct.pack(">I", len(payload)) + payload)
+    try:
+        with pytest.raises(protocol.ProtocolError, match="object"):
+            protocol.recv_message(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_reply_envelopes():
+    ok = protocol.ok_reply({"x": 1}, stages_ran=["managed_replay"])
+    assert ok == {
+        "ok": True, "result": {"x": 1}, "stages_ran": ["managed_replay"]
+    }
+    err = protocol.error_reply(
+        protocol.SERVICE_BUSY, "full", queue_depth=2, queue_limit=2
+    )
+    assert err["ok"] is False
+    assert err["error"]["code"] == protocol.SERVICE_BUSY
+    assert err["error"]["queue_depth"] == 2

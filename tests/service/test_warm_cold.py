@@ -1,0 +1,131 @@
+"""Determinism tier: a daemon-served result is **bit-for-bit identical**
+to a direct in-process `run_cell` — across every topology family, a
+non-default power policy, a faulted fabric, cache evictions, and daemon
+restarts.  The payload fingerprint (sha256 over the deep result detail)
+makes "identical" checkable across process boundaries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.common import run_cell
+from repro.power.states import WRPSParams
+from repro.service import ServiceClient, ServiceConfig, ServiceDaemon
+from repro.service.caches import STAGES, cell_payload, normalize_spec
+
+pytestmark = pytest.mark.service
+
+
+def expected_payload(raw_spec: dict) -> dict:
+    """The ground truth: the payload built from a direct run_cell."""
+
+    spec = normalize_spec(raw_spec)
+    cell = run_cell(
+        spec["app"], spec["nranks"],
+        displacements=[spec["displacement"]],
+        iterations=spec["iterations"],
+        seed=spec["seed"], scaling=spec["scaling"],
+        wrps=WRPSParams.paper(),
+        topology=spec["topology"], kernel=spec["kernel"],
+        faults=spec["faults"], policy=spec["policy"],
+        use_cache=False,
+    )
+    return cell_payload(
+        spec, cell.gt, cell.baseline, cell.managed[spec["displacement"]]
+    )
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        pytest.param({}, id="fitted"),
+        pytest.param({"topology": "torus:n=2"}, id="torus"),
+        pytest.param({"topology": "dragonfly:a=4,p=2,h=2"}, id="dragonfly"),
+        pytest.param(
+            {"topology": "fattree2:leaf=8,ratio=4"}, id="fattree2"
+        ),
+        pytest.param(
+            {"policy": "policy:hca=gate,trunk=gate"}, id="trunk-policy"
+        ),
+        pytest.param(
+            {"faults": "faults:seed=7,link_fail=0.1"}, id="faulted"
+        ),
+    ],
+)
+def test_daemon_matches_direct_run_cell(daemon_factory, overrides):
+    spec = dict(app="alya", nranks=8, displacement=0.5, iterations=4,
+                **overrides)
+    _, client = daemon_factory()
+    served = client.cell(**spec)
+    expected = expected_payload(spec)
+    assert served["result"] == expected
+    # and the warm replay of the same spec is the identical payload
+    warm = client.cell(**spec)
+    assert warm["result"] == expected
+    assert warm["stages_ran"] == []
+
+
+def test_identity_survives_eviction_and_restart(daemon_factory, tmp_path):
+    spec = dict(app="alya", nranks=8, displacement=0.5, iterations=4)
+    evictor = dict(spec, topology="torus:n=2")
+    # cache_cells=1 and a 1-entry result LRU: the evictor wipes both,
+    # forcing a full cold rebuild for the re-query
+    daemon, client = daemon_factory(cache_cells=1, cache_results=1)
+    first = client.cell(**spec)
+    assert first["stages_ran"] == list(STAGES)
+    client.cell(**evictor)
+    assert daemon.pipeline.cells.stats()["evictions"] >= 1
+    rebuilt = client.cell(**spec)
+    assert rebuilt["stages_ran"] == list(STAGES)  # genuinely cold again
+    assert rebuilt["result"] == first["result"]
+
+    # restart: a brand-new daemon process state on the same socket path
+    sock = daemon.config.socket_path
+    daemon.stop(drain=True)
+    fresh = ServiceDaemon(ServiceConfig(socket_path=sock, queue_limit=8,
+                                        cache_cells=4))
+    fresh.start()
+    try:
+        again = ServiceClient(sock, retries=0).cell(**spec)
+        assert again["result"] == first["result"]
+        assert (
+            again["result"]["fingerprint"] == first["result"]["fingerprint"]
+        )
+    finally:
+        fresh.stop(drain=True)
+
+
+def test_fingerprint_is_sensitive_to_the_cell(daemon_factory):
+    _, client = daemon_factory()
+    base = client.cell(app="alya", nranks=8, displacement=0.5,
+                       iterations=4)
+    other = client.cell(app="alya", nranks=8, displacement=0.25,
+                        iterations=4)
+    assert (
+        base["result"]["fingerprint"] != other["result"]["fingerprint"]
+    )
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    displacement=st.sampled_from([0.0, 0.1, 0.5, 0.9]),
+    seed=st.sampled_from([1234, 77]),
+)
+def test_property_daemon_equals_direct(displacement, seed):
+    # fixture-free (hypothesis + function-scoped fixtures don't mix):
+    # one throwaway daemon per example
+    import tempfile, os
+
+    spec = dict(app="gromacs", nranks=8, displacement=displacement,
+                iterations=4, seed=seed)
+    sock = os.path.join(tempfile.mkdtemp(), "hyp.sock")
+    daemon = ServiceDaemon(ServiceConfig(socket_path=sock, queue_limit=4,
+                                         cache_cells=2))
+    daemon.start()
+    try:
+        served = ServiceClient(sock, retries=0).cell(**spec)
+    finally:
+        daemon.stop(drain=True)
+    assert served["result"] == expected_payload(spec)
